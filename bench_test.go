@@ -1,0 +1,285 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations of GSI's design choices and microbenchmarks of
+// the classifier itself.
+//
+// Figure benchmarks execute the full experiment per iteration and report
+// the figure's headline series as custom metrics (normalized execution
+// totals and the key sub-components), so `go test -bench .` regenerates the
+// numbers the paper plots; `gsi-experiments` prints the full tables.
+package gsi
+
+import (
+	"testing"
+
+	"gsi/internal/core"
+)
+
+// benchScale sizes the figure benchmarks: large enough to show the paper's
+// contention and locality effects, small enough to iterate.
+func benchScale() Scale {
+	return Scale{UTSNodes: 800, UTSDNodes: 800, FrontierMin: 120, MSHRSizes: []int{32, 64, 128, 256}}
+}
+
+// BenchmarkTable51 regenerates Table 5.1: the latency calibration probe
+// against the paper's reported ranges.
+func BenchmarkTable51(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cal, err := Calibrate(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(cal.L2Hit.Min), "L2hit-min")
+		b.ReportMetric(float64(cal.L2Hit.Max), "L2hit-max")
+		b.ReportMetric(float64(cal.RemoteL1.Min), "remoteL1-min")
+		b.ReportMetric(float64(cal.RemoteL1.Max), "remoteL1-max")
+		b.ReportMetric(float64(cal.Memory.Min), "mem-min")
+		b.ReportMetric(float64(cal.Memory.Max), "mem-max")
+	}
+}
+
+// BenchmarkFig61 regenerates figure 6.1: UTS, DeNovo normalized to GPU
+// coherence (paper: near-equal totals, synchronization dominant).
+func BenchmarkFig61(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs, err := Figure61(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpuR, dnv := fs.Reports[0], fs.Reports[1]
+		base := float64(gpuR.Counts.Total())
+		b.ReportMetric(float64(dnv.Counts.Total())/base, "denovo-exec")
+		b.ReportMetric(float64(gpuR.Counts.Cycles[core.Sync])/base, "gpu-sync")
+		b.ReportMetric(float64(dnv.Counts.Cycles[core.Sync])/base, "denovo-sync")
+		b.ReportMetric(float64(dnv.Counts.MemData[core.WhereRemoteL1])/base, "denovo-remoteL1")
+	}
+}
+
+// BenchmarkFig62 regenerates figure 6.2: UTSD (paper: DeNovo cuts memory
+// data stalls via the L2 component and structural stalls via pending
+// release).
+func BenchmarkFig62(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs, err := Figure62(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpuR, dnv := fs.Reports[0], fs.Reports[1]
+		base := float64(gpuR.Counts.Total())
+		b.ReportMetric(float64(dnv.Counts.Total())/base, "denovo-exec")
+		b.ReportMetric(ratio(dnv.Counts.Cycles[core.MemData], gpuR.Counts.Cycles[core.MemData]), "data-ratio")
+		b.ReportMetric(ratio(dnv.Counts.Cycles[core.MemStructural], gpuR.Counts.Cycles[core.MemStructural]), "struct-ratio")
+		b.ReportMetric(ratio(dnv.Counts.MemStruct[core.StructPendingRelease],
+			gpuR.Counts.MemStruct[core.StructPendingRelease]), "release-ratio")
+		b.ReportMetric(ratio(dnv.Counts.MemData[core.WhereL2], gpuR.Counts.MemData[core.WhereL2]), "L2data-ratio")
+	}
+}
+
+// BenchmarkFig62VsFig61 regenerates the section 6.1.4 headline: UTSD cuts
+// execution time by ~90% relative to UTS for both protocols.
+func BenchmarkFig62VsFig61(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f61, err := Figure61(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		f62, err := Figure62(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(1-float64(f62.Reports[0].Cycles)/float64(f61.Reports[0].Cycles), "gpu-reduction")
+		b.ReportMetric(1-float64(f62.Reports[1].Cycles)/float64(f61.Reports[1].Cycles), "denovo-reduction")
+	}
+}
+
+// BenchmarkFig63 regenerates figure 6.3: the implicit microbenchmark across
+// local-memory organizations (paper: no-stall cycles fall, structural
+// stalls rise for scratchpad+DMA and stash).
+func BenchmarkFig63(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs, err := Figure63()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := fs.Reports[0]
+		for j, name := range []string{"dma", "stash"} {
+			r := fs.Reports[j+1]
+			b.ReportMetric(float64(r.Counts.Total())/float64(base.Counts.Total()), name+"-exec")
+			b.ReportMetric(ratio(r.Counts.Cycles[core.NoStall], base.Counts.Cycles[core.NoStall]), name+"-nostall")
+			b.ReportMetric(ratio(r.Counts.Cycles[core.MemStructural], base.Counts.Cycles[core.MemStructural]), name+"-struct")
+		}
+	}
+}
+
+// BenchmarkFig64 regenerates figure 6.4: the MSHR sweep (paper: full-MSHR
+// stalls vanish, data stalls grow ~13X for scratchpad and ~2.1X for stash,
+// pending-DMA stalls grow ~8.9X for scratchpad+DMA).
+func BenchmarkFig64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sets, err := Figure64(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := sets[0], sets[len(sets)-1]
+		b.ReportMetric(ratio(last.Reports[0].Counts.Cycles[core.MemData],
+			first.Reports[0].Counts.Cycles[core.MemData]), "scratch-data-growth")
+		b.ReportMetric(ratio(last.Reports[2].Counts.Cycles[core.MemData],
+			first.Reports[2].Counts.Cycles[core.MemData]), "stash-data-growth")
+		b.ReportMetric(ratio(last.Reports[1].Counts.MemStruct[core.StructPendingDMA],
+			first.Reports[1].Counts.MemStruct[core.StructPendingDMA]), "dma-pending-growth")
+		b.ReportMetric(ratio(last.Reports[0].Counts.MemStruct[core.StructMSHRFull],
+			first.Reports[0].Counts.MemStruct[core.StructMSHRFull]), "scratch-mshr-residual")
+	}
+}
+
+// BenchmarkAblationSFIFO quantifies the paper's section 6.1.4 suggestion:
+// a QuickRelease-style S-FIFO removes pending-release stalls.
+func BenchmarkAblationSFIFO(b *testing.B) {
+	w := NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
+		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
+	for i := 0; i < b.N; i++ {
+		baseRep, err := Run(Options{Protocol: GPUCoherence}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sfifoRep, err := Run(Options{Protocol: GPUCoherence, SFIFO: true}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ratio(sfifoRep.Counts.MemStruct[core.StructPendingRelease],
+			baseRep.Counts.MemStruct[core.StructPendingRelease]), "release-stall-ratio")
+		b.ReportMetric(float64(sfifoRep.Counts.Total())/float64(baseRep.Counts.Total()), "exec-ratio")
+	}
+}
+
+// BenchmarkAblationStrongCycle quantifies how classifying cycles with the
+// strong (Algorithm 1) priority instead of the paper's weak order shifts
+// the breakdown (section 4.2's design discussion).
+func BenchmarkAblationStrongCycle(b *testing.B) {
+	w := NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
+		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
+	for i := 0; i < b.N; i++ {
+		weak, err := Run(Options{Protocol: GPUCoherence}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strong, err := Run(Options{Protocol: GPUCoherence, StrongCycle: true}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// How much of the breakdown moves between buckets.
+		var moved uint64
+		for k := 0; k < core.NumStallKinds; k++ {
+			d := int64(weak.Counts.Cycles[k]) - int64(strong.Counts.Cycles[k])
+			if d < 0 {
+				d = -d
+			}
+			moved += uint64(d)
+		}
+		b.ReportMetric(float64(moved)/float64(weak.Counts.Total()), "breakdown-shift")
+	}
+}
+
+// BenchmarkAblationEagerAttribution quantifies what deferred data-stall
+// attribution buys: the fraction of memory data stalls an eager classifier
+// would dump into the main-memory bucket despite being serviced closer.
+func BenchmarkAblationEagerAttribution(b *testing.B) {
+	w := NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
+		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
+	for i := 0; i < b.N; i++ {
+		deferred, err := Run(Options{Protocol: GPUCoherence}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		near := deferred.Counts.MemData[core.WhereL1] +
+			deferred.Counts.MemData[core.WhereL1Coalescing] +
+			deferred.Counts.MemData[core.WhereL2] +
+			deferred.Counts.MemData[core.WhereRemoteL1]
+		b.ReportMetric(ratio(near, deferred.Counts.Cycles[core.MemData]), "misattributed-by-eager")
+	}
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// --- microbenchmarks of the tool itself ---
+
+// BenchmarkClassifyCycle measures Algorithm 1 + Algorithm 2 for a full
+// 8-warp SM observation, the per-cycle cost GSI adds to the simulator.
+func BenchmarkClassifyCycle(b *testing.B) {
+	conds := []core.Cond{
+		{Issued: true},
+		{SyncBlocked: true},
+		{MemDataHazard: true, PendingLoad: 7},
+		{MemStructHazard: true, StructCause: core.StructMSHRFull},
+		{CompDataHazard: true},
+		{NextUnavailable: true},
+		{SyncBlocked: true},
+		{MemDataHazard: true, PendingLoad: 9},
+	}
+	obs := make([]core.WarpObs, len(conds))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, c := range conds {
+			obs[j] = core.ClassifyInstruction(c)
+		}
+		_ = core.ClassifyCycle(obs)
+	}
+}
+
+// BenchmarkInspectorObserve measures the full per-SM-cycle collection path
+// including deferred attribution bookkeeping.
+func BenchmarkInspectorObserve(b *testing.B) {
+	in := core.NewInspector(1)
+	obs := []core.WarpObs{
+		{Kind: core.MemData, PendingLoad: 1},
+		{Kind: core.Sync},
+		{Kind: core.MemStructural, StructCause: core.StructStoreBufferFull},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Observe(0, obs)
+		if i%64 == 0 {
+			in.LoadCompleted(core.LoadID(1), core.WhereL2)
+		}
+	}
+}
+
+// BenchmarkSimulatorCyclesPerSecond measures raw simulation throughput on
+// the implicit microbenchmark (cycles simulated per wall-clock second,
+// reported as cycles/op).
+func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Options{System: implicitSystem(32), Protocol: DeNovo}, NewImplicit(Scratchpad))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += rep.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+}
+
+// BenchmarkAblationOwnedAtomics quantifies the owned-atomics suggestion of
+// section 6.1.4: the local-service fraction of atomics and the execution
+// and sync-stall ratios versus baseline DeNovo on UTSD.
+func BenchmarkAblationOwnedAtomics(b *testing.B) {
+	w := NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
+		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
+	for i := 0; i < b.N; i++ {
+		base, err := Run(Options{Protocol: DeNovo}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		owned, err := Run(Options{Protocol: DeNovo, OwnedAtomics: true}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ratio(owned.Mem.LocalAtomics, owned.Mem.Atomics), "local-atomic-frac")
+		b.ReportMetric(float64(owned.Counts.Total())/float64(base.Counts.Total()), "exec-ratio")
+		b.ReportMetric(ratio(owned.Counts.Cycles[core.Sync], base.Counts.Cycles[core.Sync]), "sync-ratio")
+	}
+}

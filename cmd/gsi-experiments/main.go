@@ -1,0 +1,106 @@
+// Command gsi-experiments regenerates the paper's evaluation artifacts:
+// Table 5.1 (system parameters with measured latency ranges) and figures
+// 6.1 through 6.4 (stall breakdowns for both case studies).
+//
+// Examples:
+//
+//	gsi-experiments                     # everything, default scale
+//	gsi-experiments -exp fig6.2         # one figure
+//	gsi-experiments -scale small -csv   # fast run, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gsi"
+	"gsi/internal/stats"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "all | table5.1 | fig6.1 | fig6.2 | fig6.3 | fig6.4")
+		scale = flag.String("scale", "default", "default | small")
+		width = flag.Int("width", 64, "chart width")
+		csv   = flag.Bool("csv", false, "emit CSV instead of tables and charts")
+	)
+	flag.Parse()
+
+	var sc gsi.Scale
+	switch strings.ToLower(*scale) {
+	case "default":
+		sc = gsi.DefaultScale()
+	case "small":
+		sc = gsi.SmallScale()
+	default:
+		fail("unknown scale %q", *scale)
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	ran := false
+
+	if want("table5.1") {
+		ran = true
+		s, err := gsi.Table51(gsi.DefaultConfig())
+		if err != nil {
+			fail("table 5.1: %v", err)
+		}
+		fmt.Println(s)
+	}
+	if want("fig6.1") {
+		ran = true
+		fs, err := gsi.Figure61(sc)
+		if err != nil {
+			fail("%v", err)
+		}
+		render(fs, *width, *csv, fs.BaselineTotal())
+	}
+	if want("fig6.2") {
+		ran = true
+		fs, err := gsi.Figure62(sc)
+		if err != nil {
+			fail("%v", err)
+		}
+		render(fs, *width, *csv, fs.BaselineTotal())
+	}
+	if want("fig6.3") {
+		ran = true
+		fs, err := gsi.Figure63()
+		if err != nil {
+			fail("%v", err)
+		}
+		render(fs, *width, *csv, fs.BaselineTotal())
+	}
+	if want("fig6.4") {
+		ran = true
+		sets, err := gsi.Figure64(sc)
+		if err != nil {
+			fail("%v", err)
+		}
+		base := gsi.Figure64Baseline(sets)
+		for _, fs := range sets {
+			render(fs, *width, *csv, base)
+		}
+	}
+	if !ran {
+		fail("unknown experiment %q", *exp)
+	}
+}
+
+func render(fs *gsi.FigureSet, width int, csv bool, base float64) {
+	if !csv {
+		fmt.Print(fs.RenderTo(width, base))
+		return
+	}
+	exec, data, structural := fs.NormalizedTo(base)
+	for _, g := range []*stats.Group{exec, data, structural} {
+		fmt.Printf("# %s\n%s", g.Title, g.CSV())
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gsi-experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command gsi-run executes one workload under one configuration and prints
+// its GSI stall profile.
+//
+// Examples:
+//
+//	gsi-run -workload utsd -protocol denovo -nodes 1500
+//	gsi-run -workload implicit -local stash -mshr 256 -chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gsi"
+	"gsi/internal/stats"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "implicit", "uts | utsd | implicit")
+		protocol = flag.String("protocol", "denovo", "gpu | denovo")
+		local    = flag.String("local", "scratchpad", "implicit only: scratchpad | dma | stash")
+		nodes    = flag.Int("nodes", 1000, "tree size for uts/utsd")
+		sms      = flag.Int("sms", 0, "SM count override (default: 15 for uts/utsd, 1 for implicit)")
+		mshr     = flag.Int("mshr", 32, "MSHR (and store buffer) entries")
+		sfifo    = flag.Bool("sfifo", false, "enable the S-FIFO release ablation")
+		owned    = flag.Bool("owned-atomics", false, "enable the owned-atomics optimization (DeNovo)")
+		chart    = flag.Bool("chart", false, "print ASCII charts")
+		timeline = flag.Bool("timeline", false, "print the per-SM stall timeline")
+	)
+	flag.Parse()
+
+	opt := gsi.Options{System: gsi.DefaultConfig(), SFIFO: *sfifo,
+		OwnedAtomics: *owned, Timeline: *timeline}
+	switch strings.ToLower(*protocol) {
+	case "gpu", "gpucoherence", "gpu-coherence":
+		opt.Protocol = gsi.GPUCoherence
+	case "denovo":
+		opt.Protocol = gsi.DeNovo
+	default:
+		fail("unknown protocol %q", *protocol)
+	}
+	opt.System.MSHREntries = *mshr
+	opt.System.StoreBufEntries = *mshr
+
+	var w gsi.Workload
+	switch strings.ToLower(*workload) {
+	case "uts":
+		w = gsi.NewUTS(*nodes)
+	case "utsd":
+		w = gsi.NewUTSD(*nodes)
+	case "implicit":
+		opt.System = gsi.ImplicitSystem(*mshr)
+		switch strings.ToLower(*local) {
+		case "scratchpad", "scratch":
+			w = gsi.NewImplicit(gsi.Scratchpad)
+		case "dma", "scratchpad+dma":
+			w = gsi.NewImplicit(gsi.ScratchpadDMA)
+		case "stash":
+			w = gsi.NewImplicit(gsi.Stash)
+		default:
+			fail("unknown local memory %q", *local)
+		}
+	default:
+		fail("unknown workload %q", *workload)
+	}
+	if *sms > 0 {
+		opt.System.NumSMs = *sms
+	}
+
+	rep, err := gsi.Run(opt, w)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(rep.Summary())
+	if *timeline {
+		fmt.Print(rep.Timeline)
+	}
+	if *chart {
+		for _, b := range []stats.Breakdown{
+			rep.ExecBreakdown(), rep.MemDataBreakdown(), rep.MemStructBreakdown(),
+		} {
+			g := stats.NewGroup(b.Name, b.Labels)
+			g.Add(b)
+			fmt.Print(g.Chart(64))
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gsi-run: "+format+"\n", args...)
+	os.Exit(1)
+}

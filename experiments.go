@@ -1,0 +1,213 @@
+package gsi
+
+import (
+	"fmt"
+	"strings"
+
+	"gsi/internal/stats"
+)
+
+// FigureSet is one reproduced figure: the three stacked-bar sub-figures of
+// the paper's case studies ((a) execution-time breakdown, (b) memory data
+// stall sub-classification, (c) memory structural sub-classification),
+// with one bar per configuration.
+type FigureSet struct {
+	ID       string
+	Title    string
+	Baseline string // bar the paper normalizes to
+	Exec     *stats.Group
+	Data     *stats.Group
+	Struct   *stats.Group
+	Reports  []*Report
+}
+
+// add folds one run into the three groups.
+func (fs *FigureSet) add(r *Report) {
+	if fs.Exec == nil {
+		fs.Exec = stats.NewGroup(fs.ID+"a: execution time breakdown", r.ExecBreakdown().Labels)
+		fs.Data = stats.NewGroup(fs.ID+"b: memory data stall breakdown", r.MemDataBreakdown().Labels)
+		fs.Struct = stats.NewGroup(fs.ID+"c: memory structural stall breakdown", r.MemStructBreakdown().Labels)
+	}
+	fs.Exec.Add(r.ExecBreakdown())
+	fs.Data.Add(r.MemDataBreakdown())
+	fs.Struct.Add(r.MemStructBreakdown())
+	fs.Reports = append(fs.Reports, r)
+}
+
+// BaselineTotal returns the execution-time total of the baseline bar.
+func (fs *FigureSet) BaselineTotal() float64 {
+	for _, b := range fs.Exec.Bars {
+		if b.Name == fs.Baseline {
+			return b.Total()
+		}
+	}
+	return 0
+}
+
+// Normalized returns the three sub-figures normalized to the baseline
+// bar's execution-time total, the paper's convention ("normalized to GPU
+// coherence" / "normalized to baseline scratchpad"): every sub-figure is
+// divided by the same denominator so components remain comparable across
+// sub-figures.
+func (fs *FigureSet) Normalized() (exec, data, structural *stats.Group) {
+	return fs.NormalizedTo(fs.BaselineTotal())
+}
+
+// NormalizedTo normalizes all three sub-figures by an explicit denominator
+// (the MSHR sweep of figure 6.4 normalizes every set to the 32-entry
+// scratchpad baseline).
+func (fs *FigureSet) NormalizedTo(base float64) (exec, data, structural *stats.Group) {
+	norm := func(g *stats.Group) *stats.Group {
+		if base == 0 {
+			return g
+		}
+		out := stats.NewGroup(g.Title+" (normalized)", g.Labels)
+		for _, b := range g.Bars {
+			out.Add(b.NormalizeTo(base))
+		}
+		return out
+	}
+	return norm(fs.Exec), norm(fs.Data), norm(fs.Struct)
+}
+
+// Render prints the normalized tables and charts for the whole figure.
+func (fs *FigureSet) Render(width int) string {
+	return fs.RenderTo(width, fs.BaselineTotal())
+}
+
+// RenderTo renders with an explicit normalization denominator.
+func (fs *FigureSet) RenderTo(width int, base float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== Figure %s: %s (normalized to %s) ===\n", fs.ID, fs.Title, fs.Baseline)
+	ne, nd, ns := fs.NormalizedTo(base)
+	for _, g := range []*stats.Group{ne, nd, ns} {
+		sb.WriteString(g.Table())
+		sb.WriteString(g.Chart(width))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Scale sizes the experiment workloads. Tests use small trees for speed;
+// the benchmark harness uses the defaults.
+type Scale struct {
+	UTSNodes    int
+	UTSDNodes   int
+	FrontierMin int
+	MSHRSizes   []int
+}
+
+// DefaultScale is the benchmark-harness sizing.
+func DefaultScale() Scale {
+	return Scale{UTSNodes: 1500, UTSDNodes: 1500, FrontierMin: 120, MSHRSizes: []int{32, 64, 128, 256}}
+}
+
+// SmallScale keeps unit-test runtimes low.
+func SmallScale() Scale {
+	return Scale{UTSNodes: 250, UTSDNodes: 250, FrontierMin: 60, MSHRSizes: []int{32, 256}}
+}
+
+// Figure61 reproduces figure 6.1: UTS under GPU coherence vs DeNovo
+// (execution dominated by synchronization stalls; remote-L1 data stalls and
+// pending-release structural stalls appear under DeNovo).
+func Figure61(sc Scale) (*FigureSet, error) {
+	fs := &FigureSet{ID: "6.1", Title: "UTS, GPU coherence vs DeNovo", Baseline: GPUCoherence.String()}
+	for _, p := range []Protocol{GPUCoherence, DeNovo} {
+		u := UTS{Seed: 0xC0FFEE, Nodes: sc.UTSNodes, FrontierMin: sc.FrontierMin,
+			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4}
+		rep, err := Run(Options{Protocol: p}, NewUTSWith(u))
+		if err != nil {
+			return nil, fmt.Errorf("figure 6.1 (%s): %w", p, err)
+		}
+		fs.add(rep)
+	}
+	return fs, nil
+}
+
+// Figure62 reproduces figure 6.2: UTSD under both protocols (DeNovo cuts
+// memory data stalls via the L2 component and memory structural stalls via
+// pending release).
+func Figure62(sc Scale) (*FigureSet, error) {
+	fs := &FigureSet{ID: "6.2", Title: "UTSD, GPU coherence vs DeNovo", Baseline: GPUCoherence.String()}
+	for _, p := range []Protocol{GPUCoherence, DeNovo} {
+		u := UTSD{Seed: 0xC0FFEE, Nodes: sc.UTSDNodes, FrontierMin: sc.FrontierMin,
+			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128}
+		rep, err := Run(Options{Protocol: p}, NewUTSDWith(u))
+		if err != nil {
+			return nil, fmt.Errorf("figure 6.2 (%s): %w", p, err)
+		}
+		fs.add(rep)
+	}
+	return fs, nil
+}
+
+// ImplicitSystem returns the case-study-2 system: one SM with a 32-warp
+// thread block (the paper's microbenchmark uses a single GPU core) and the
+// given MSHR size; the store buffer scales with the MSHR as in the figure
+// 6.4 sweep.
+func ImplicitSystem(mshr int) SystemConfig { return implicitSystem(mshr) }
+
+// implicitSystem is the case-study-2 system: one SM (the paper's
+// microbenchmark uses a single GPU core).
+func implicitSystem(mshr int) SystemConfig {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.WarpsPerSM = 32
+	cfg.MSHREntries = mshr
+	// The sweep scales the store buffer with the MSHR "to prevent store
+	// buffer stalls from becoming the new bottleneck" (section 6.2.4).
+	cfg.StoreBufEntries = mshr
+	return cfg
+}
+
+// Figure63 reproduces figure 6.3: the implicit microbenchmark on baseline
+// scratchpad, scratchpad+DMA, and stash (all under DeNovo, 32-entry MSHR).
+func Figure63() (*FigureSet, error) {
+	fs := &FigureSet{ID: "6.3", Title: "implicit microbenchmark, local-memory organizations",
+		Baseline: Scratchpad.String()}
+	for _, kind := range []LocalMem{Scratchpad, ScratchpadDMA, Stash} {
+		rep, err := Run(Options{System: implicitSystem(32), Protocol: DeNovo}, NewImplicit(kind))
+		if err != nil {
+			return nil, fmt.Errorf("figure 6.3 (%s): %w", kind, err)
+		}
+		fs.add(rep)
+	}
+	return fs, nil
+}
+
+// Figure64 reproduces figure 6.4: the MSHR sensitivity sweep. One FigureSet
+// per MSHR size; normalize every set with Figure64Baseline (baseline
+// scratchpad at the smallest MSHR), the paper's convention.
+func Figure64(sc Scale) ([]*FigureSet, error) {
+	var out []*FigureSet
+	for _, mshr := range sc.MSHRSizes {
+		fs := &FigureSet{
+			ID:       fmt.Sprintf("6.4[mshr=%d]", mshr),
+			Title:    fmt.Sprintf("implicit, %d-entry MSHR", mshr),
+			Baseline: Scratchpad.String(),
+		}
+		for _, kind := range []LocalMem{Scratchpad, ScratchpadDMA, Stash} {
+			rep, err := Run(Options{System: implicitSystem(mshr), Protocol: DeNovo}, NewImplicit(kind))
+			if err != nil {
+				return nil, fmt.Errorf("figure 6.4 (%s, mshr=%d): %w", kind, mshr, err)
+			}
+			fs.add(rep)
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// Figure64Baseline returns the common denominator (baseline scratchpad,
+// first MSHR size) for normalizing a Figure64 sweep.
+func Figure64Baseline(sets []*FigureSet) float64 {
+	if len(sets) == 0 {
+		return 0
+	}
+	for _, b := range sets[0].Exec.Bars {
+		if b.Name == Scratchpad.String() {
+			return b.Total()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,179 @@
+// Package gsi is the public API of the GPU Stall Inspector reproduction:
+// a cycle-level simulator of a tightly coupled CPU-GPU system (15 SMs + 1
+// CPU on a 4x4 mesh with a banked NUCA L2) instrumented with GSI, the
+// stall-attribution methodology of Alsop, Sinclair, and Adve (ISPASS 2016).
+//
+// A simulation is described by Options (system parameters + coherence
+// protocol + ablation switches) and a Workload (UTS, UTSD, or the implicit
+// microbenchmark in one of three local-memory organizations). Run executes
+// the workload to completion, functionally verifies it, and returns a
+// Report containing the per-cycle stall breakdown, the memory data stall
+// sub-classification (by service location), and the memory structural
+// sub-classification (by blocking resource).
+//
+//	rep, err := gsi.Run(gsi.Options{Protocol: gsi.DeNovo}, gsi.NewUTSD(2000))
+//	fmt.Println(rep.ExecBreakdown().Chart(60))
+package gsi
+
+import (
+	"fmt"
+
+	"gsi/internal/coherence"
+	"gsi/internal/core"
+	"gsi/internal/gpu"
+	"gsi/internal/mem"
+	"gsi/internal/scratchpad"
+	"gsi/internal/sim"
+	"gsi/internal/workloads"
+)
+
+// The stall taxonomy, re-exported so report consumers can index Counts
+// without reaching into internal packages.
+type (
+	// StallKind is a top-level cycle classification (Algorithm 2).
+	StallKind = core.StallKind
+	// DataWhere sub-classifies memory data stalls by service location.
+	DataWhere = core.DataWhere
+	// StructCause sub-classifies memory structural stalls by resource.
+	StructCause = core.StructCause
+	// Counts is a stall profile: cycles by kind plus both sub-breakdowns.
+	Counts = core.Counts
+)
+
+// Top-level stall kinds (section 4.1 of the paper).
+const (
+	NoStall        = core.NoStall
+	Idle           = core.Idle
+	Control        = core.Control
+	Sync           = core.Sync
+	MemData        = core.MemData
+	MemStructural  = core.MemStructural
+	CompData       = core.CompData
+	CompStructural = core.CompStructural
+)
+
+// Memory data stall service locations (section 4.3).
+const (
+	WhereL1           = core.WhereL1
+	WhereL1Coalescing = core.WhereL1Coalescing
+	WhereL2           = core.WhereL2
+	WhereRemoteL1     = core.WhereRemoteL1
+	WhereMemory       = core.WhereMemory
+)
+
+// Memory structural stall causes (section 4.4).
+const (
+	StructMSHRFull        = core.StructMSHRFull
+	StructStoreBufferFull = core.StructStoreBufferFull
+	StructBankConflict    = core.StructBankConflict
+	StructPendingRelease  = core.StructPendingRelease
+	StructPendingDMA      = core.StructPendingDMA
+)
+
+// Compute-stall units (the conclusion's suggested extension).
+const (
+	ALUUnit   = core.UnitALU
+	SFUUnit   = core.UnitSFU
+	IssueUnit = core.UnitIssue
+)
+
+// Protocol selects the GPU coherence protocol (the CPU always runs DeNovo,
+// as in the paper's methodology).
+type Protocol uint8
+
+const (
+	// GPUCoherence is the conventional software protocol: acquire
+	// self-invalidates the whole L1, releases write dirty data through
+	// to the L2.
+	GPUCoherence Protocol = iota
+	// DeNovo registers ownership of dirty lines at the L2 directory;
+	// owned lines survive acquires, serve remote readers, and make
+	// repeat releases free.
+	DeNovo
+)
+
+// String names the protocol as in the paper's figures.
+func (p Protocol) String() string {
+	switch p {
+	case GPUCoherence:
+		return "GPU coherence"
+	case DeNovo:
+		return "DeNovo"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+func (p Protocol) policy() mem.Policy {
+	if p == DeNovo {
+		return coherence.DeNovo{}
+	}
+	return coherence.GPUCoherence{}
+}
+
+// LocalMem selects a local-memory organization for the implicit
+// microbenchmark (case study 2).
+type LocalMem = gpu.LocalKind
+
+// Local-memory organizations.
+const (
+	Scratchpad    = gpu.LocalScratch
+	ScratchpadDMA = gpu.LocalScratchDMA
+	Stash         = gpu.LocalStash
+)
+
+// SystemConfig re-exports the architectural parameter block; the zero
+// value is not valid — start from DefaultConfig (Table 5.1).
+type SystemConfig = sim.Config
+
+// DefaultConfig returns the Table 5.1 system.
+func DefaultConfig() SystemConfig { return sim.Default() }
+
+// Mapping re-exports the scratchpad/stash window descriptor for custom
+// kernels.
+type Mapping = scratchpad.Mapping
+
+// Workload parameter blocks, re-exported from internal/workloads.
+type (
+	// UTS parameterizes unbalanced tree search on one global queue.
+	UTS = workloads.UTS
+	// UTSD parameterizes the decentralized variant.
+	UTSD = workloads.UTSD
+	// Implicit parameterizes the streaming microbenchmark.
+	Implicit = workloads.Implicit
+)
+
+// Options configures one simulation.
+type Options struct {
+	// System holds the architectural parameters; zero means
+	// DefaultConfig.
+	System SystemConfig
+	// Protocol selects GPU coherence or DeNovo for the GPU L1s.
+	Protocol Protocol
+	// SFIFO enables the QuickRelease-style S-FIFO ablation (memory
+	// operations keep issuing during a release flush; paper §6.1.4).
+	SFIFO bool
+	// OwnedAtomics enables the owned-atomics optimization the paper's
+	// §6.1.4 suggests (atomics register L1 ownership; repeat atomics to
+	// the same line execute locally). Effective only under DeNovo.
+	OwnedAtomics bool
+	// StrongCycle classifies cycles with the strong (Algorithm 1)
+	// priority instead of the paper's weak order — ablation of §4.2.
+	StrongCycle bool
+	// EagerAttribution disables deferred memory-data attribution —
+	// ablation of §4.3's methodology.
+	EagerAttribution bool
+	// Timeline records and renders a per-SM stall timeline in the
+	// report (one character column per time bucket).
+	Timeline bool
+	// SkipVerify skips the workload's functional post-check (used by
+	// fault-injection tests).
+	SkipVerify bool
+}
+
+// withDefaults fills in the zero value.
+func (o Options) withDefaults() Options {
+	if o.System.NumSMs == 0 {
+		o.System = DefaultConfig()
+	}
+	return o
+}

@@ -1,0 +1,80 @@
+package coherence
+
+import (
+	"testing"
+
+	"gsi/internal/mem"
+)
+
+func TestGPUCoherencePolicy(t *testing.T) {
+	p := GPUCoherence{}
+	if p.Name() != "GPU coherence" || p.UsesOwnership() {
+		t.Fatalf("identity: name=%q ownership=%v", p.Name(), p.UsesOwnership())
+	}
+	// Acquire: only unflushed dirty data survives.
+	keep := []struct {
+		state mem.LineState
+		dirty bool
+		want  bool
+	}{
+		{mem.LineValid, false, false},
+		{mem.LineValid, true, true},
+		{mem.LineOwned, false, false}, // cannot occur, but must not survive
+		{mem.LineOwned, true, true},
+	}
+	for _, tt := range keep {
+		if got := p.KeepOnAcquire(tt.state, tt.dirty); got != tt.want {
+			t.Errorf("KeepOnAcquire(%v, %v) = %v, want %v", tt.state, tt.dirty, got, tt.want)
+		}
+	}
+	// Every flush writes through.
+	for _, st := range []mem.LineState{mem.LineValid, mem.LineOwned, mem.LineInvalid} {
+		if p.FlushLine(st) != mem.FlushWriteThrough {
+			t.Errorf("FlushLine(%v) != write-through", st)
+		}
+	}
+}
+
+func TestDeNovoPolicy(t *testing.T) {
+	p := DeNovo{}
+	if p.Name() != "DeNovo" || !p.UsesOwnership() {
+		t.Fatalf("identity: name=%q ownership=%v", p.Name(), p.UsesOwnership())
+	}
+	keep := []struct {
+		state mem.LineState
+		dirty bool
+		want  bool
+	}{
+		{mem.LineValid, false, false}, // clean unowned: self-invalidated
+		{mem.LineValid, true, true},   // pending store buffer data
+		{mem.LineOwned, false, true},  // registered: survives acquires
+		{mem.LineOwned, true, true},
+	}
+	for _, tt := range keep {
+		if got := p.KeepOnAcquire(tt.state, tt.dirty); got != tt.want {
+			t.Errorf("KeepOnAcquire(%v, %v) = %v, want %v", tt.state, tt.dirty, got, tt.want)
+		}
+	}
+	if p.FlushLine(mem.LineOwned) != mem.FlushNone {
+		t.Error("flushing an owned line must be free")
+	}
+	if p.FlushLine(mem.LineValid) != mem.FlushOwnReq {
+		t.Error("flushing an unowned line must register ownership")
+	}
+}
+
+func TestPoliciesFor(t *testing.T) {
+	ps := PoliciesFor(3, GPUCoherence{})
+	if len(ps) != 4 {
+		t.Fatalf("len = %d, want 4 (3 SMs + CPU)", len(ps))
+	}
+	for i := 0; i < 3; i++ {
+		if ps[i].Name() != "GPU coherence" {
+			t.Errorf("SM %d policy = %q", i, ps[i].Name())
+		}
+	}
+	// The CPU always runs DeNovo, per the paper's methodology.
+	if ps[3].Name() != "DeNovo" {
+		t.Errorf("CPU policy = %q, want DeNovo", ps[3].Name())
+	}
+}

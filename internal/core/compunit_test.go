@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+func TestCompUnitSubclassification(t *testing.T) {
+	obs := ClassifyInstruction(Cond{CompDataHazard: true, CompDataUnit: UnitSFU})
+	if obs.Kind != CompData || obs.CompUnit != UnitSFU {
+		t.Fatalf("obs = %+v", obs)
+	}
+	obs = ClassifyInstruction(Cond{CompStructHazard: true, CompStructUnit: UnitSFU})
+	if obs.Kind != CompStructural || obs.CompUnit != UnitSFU {
+		t.Fatalf("obs = %+v", obs)
+	}
+	in := NewInspector(1)
+	in.Observe(0, []WarpObs{{Kind: CompData, CompUnit: UnitSFU}})
+	in.Observe(0, []WarpObs{{Kind: CompData, CompUnit: UnitALU}})
+	in.Observe(0, []WarpObs{{Kind: CompStructural, CompUnit: UnitIssue}})
+	in.Observe(0, []WarpObs{{Kind: CompStructural}}) // unattributed -> ALU
+	c := in.SM(0)
+	if c.CompData[UnitSFU] != 1 || c.CompData[UnitALU] != 1 {
+		t.Fatalf("comp data buckets = %v", c.CompData)
+	}
+	if c.CompStruct[UnitIssue] != 1 || c.CompStruct[UnitALU] != 1 {
+		t.Fatalf("comp struct buckets = %v", c.CompStruct)
+	}
+}
+
+func TestCompUnitLabels(t *testing.T) {
+	if len(CompUnits()) != NumCompUnits-1 {
+		t.Fatalf("CompUnits() has %d entries", len(CompUnits()))
+	}
+	for _, u := range CompUnits() {
+		if u == UnitNone || u.String() == "none" {
+			t.Fatal("UnitNone in report order")
+		}
+	}
+}
+
+func TestCountsAddCompUnits(t *testing.T) {
+	var a, b Counts
+	a.CompData[UnitSFU] = 2
+	b.CompData[UnitSFU] = 3
+	b.CompStruct[UnitIssue] = 1
+	a.Add(&b)
+	if a.CompData[UnitSFU] != 5 || a.CompStruct[UnitIssue] != 1 {
+		t.Fatalf("Add = %+v", a)
+	}
+}

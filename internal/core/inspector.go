@@ -1,0 +1,227 @@
+package core
+
+// Counts is the per-SM (or aggregated) stall profile GSI produces: total
+// cycles by top-level kind plus the two memory sub-breakdowns.
+type Counts struct {
+	// Cycles[k] is the number of issue cycles classified as StallKind(k).
+	Cycles [NumStallKinds]uint64
+	// MemData[w] is the number of memory-data stall cycles whose blocking
+	// load was serviced at DataWhere(w).
+	MemData [NumDataWheres]uint64
+	// MemStruct[c] is the number of memory-structural stall cycles whose
+	// blocking resource was StructCause(c).
+	MemStruct [NumStructCauses]uint64
+	// CompData[u] and CompStruct[u] sub-classify compute stalls by the
+	// producing / contended pipeline (the paper's suggested extension for
+	// studying functional-unit changes).
+	CompData   [NumCompUnits]uint64
+	CompStruct [NumCompUnits]uint64
+}
+
+// Total returns the total number of classified cycles.
+func (c Counts) Total() uint64 {
+	var t uint64
+	for _, v := range c.Cycles {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other *Counts) {
+	for i := range c.Cycles {
+		c.Cycles[i] += other.Cycles[i]
+	}
+	for i := range c.MemData {
+		c.MemData[i] += other.MemData[i]
+	}
+	for i := range c.MemStruct {
+		c.MemStruct[i] += other.MemStruct[i]
+	}
+	for i := range c.CompData {
+		c.CompData[i] += other.CompData[i]
+	}
+	for i := range c.CompStruct {
+		c.CompStruct[i] += other.CompStruct[i]
+	}
+}
+
+// Inspector is the GSI collector. One Inspector profiles one simulation:
+// each SM reports one CycleClass per cycle, and the memory system reports
+// load completions so deferred memory-data attribution can resolve.
+//
+// Deferred attribution: when a cycle is classified MemData the blocking
+// load is usually still in flight, so where it will be serviced is not yet
+// known. The Inspector accrues such cycles against the LoadID and folds
+// them into the proper DataWhere bucket when LoadCompleted is called.
+// Stalls observed after completion (possible for the cycle in which the
+// response is being written back) are charged directly.
+type Inspector struct {
+	perSM   []Counts
+	pending map[LoadID]*pendingLoad
+
+	// StrongCycle selects the ablation classifier (strong priority at
+	// cycle level); see ClassifyCycleStrong.
+	StrongCycle bool
+	// EagerAttribution selects the ablation data-stall attribution that
+	// charges stalls immediately to main memory instead of deferring;
+	// see DESIGN.md ablation 1.
+	EagerAttribution bool
+	// Timeline, when set, records a per-SM stall timeline alongside the
+	// counters (see NewTimeline).
+	Timeline *Timeline
+}
+
+type pendingLoad struct {
+	sm      int
+	accrued uint64
+	where   DataWhere // WhereUnknown until completion
+	done    bool
+}
+
+// NewInspector returns an Inspector profiling numSMs streaming
+// multiprocessors.
+func NewInspector(numSMs int) *Inspector {
+	return &Inspector{
+		perSM:   make([]Counts, numSMs),
+		pending: make(map[LoadID]*pendingLoad),
+	}
+}
+
+// Observe classifies one SM issue cycle from the per-warp observations and
+// records it. It is the single entry point the GPU core model calls each
+// cycle. The returned CycleClass is what was recorded (useful for tracing).
+func (in *Inspector) Observe(sm int, warps []WarpObs) CycleClass {
+	var cc CycleClass
+	if in.StrongCycle {
+		cc = ClassifyCycleStrong(warps)
+	} else {
+		cc = ClassifyCycle(warps)
+	}
+	in.RecordCycle(sm, cc)
+	return cc
+}
+
+// RecordCycle records an already-classified cycle for an SM.
+func (in *Inspector) RecordCycle(sm int, cc CycleClass) {
+	c := &in.perSM[sm]
+	c.Cycles[cc.Kind]++
+	if in.Timeline != nil {
+		in.Timeline.Record(sm, cc.Kind)
+	}
+	switch cc.Kind {
+	case MemData:
+		in.recordMemData(sm, cc.PendingLoad)
+	case MemStructural:
+		cause := cc.StructCause
+		if cause == StructNone {
+			// Defensive: a structural stall must have a cause;
+			// charge the most generic one rather than dropping.
+			cause = StructMSHRFull
+		}
+		c.MemStruct[cause]++
+	case CompData:
+		c.CompData[unitOrALU(cc.CompUnit)]++
+	case CompStructural:
+		c.CompStruct[unitOrALU(cc.CompUnit)]++
+	}
+}
+
+// unitOrALU defaults an unattributed compute stall to the ALU, the generic
+// pipeline.
+func unitOrALU(u CompUnit) CompUnit {
+	if u == UnitNone {
+		return UnitALU
+	}
+	return u
+}
+
+func (in *Inspector) recordMemData(sm int, id LoadID) {
+	c := &in.perSM[sm]
+	if in.EagerAttribution {
+		// Ablation: charge immediately to main memory (the only level
+		// an eager classifier can safely assume for an in-flight
+		// miss). The default deferred scheme is the paper's.
+		c.MemData[WhereMemory]++
+		return
+	}
+	if id == 0 {
+		// No load identified (e.g. dependency already resolved this
+		// cycle): local L1 is the closest service point.
+		c.MemData[WhereL1]++
+		return
+	}
+	p := in.pending[id]
+	if p == nil {
+		p = &pendingLoad{sm: sm, where: WhereUnknown}
+		in.pending[id] = p
+	}
+	if p.done {
+		c.MemData[p.where]++
+		return
+	}
+	p.accrued++
+}
+
+// LoadCompleted tells the Inspector where a load was serviced. Accrued
+// stall cycles for that load are folded into the matching bucket. The entry
+// is retained (marked done) so stalls charged to the load in the completion
+// cycle itself still resolve correctly; Flush drops retained entries.
+func (in *Inspector) LoadCompleted(id LoadID, where DataWhere) {
+	if in.EagerAttribution || id == 0 {
+		return
+	}
+	p := in.pending[id]
+	if p == nil {
+		// Load completed without ever blocking anyone: nothing to
+		// attribute, and nothing to remember.
+		return
+	}
+	p.where = where
+	p.done = true
+	if p.accrued > 0 {
+		in.perSM[p.sm].MemData[where] += p.accrued
+		p.accrued = 0
+	}
+}
+
+// Flush resolves bookkeeping at end of simulation: loads still in flight
+// have their accrued stalls charged to main memory (the conservative
+// choice), and completed-load records are dropped.
+func (in *Inspector) Flush() {
+	for id, p := range in.pending {
+		if !p.done && p.accrued > 0 {
+			in.perSM[p.sm].MemData[WhereMemory] += p.accrued
+		}
+		delete(in.pending, id)
+	}
+}
+
+// SM returns the counts for one SM. The pointer stays valid for the
+// Inspector's lifetime.
+func (in *Inspector) SM(sm int) *Counts { return &in.perSM[sm] }
+
+// NumSMs returns the number of SMs being profiled.
+func (in *Inspector) NumSMs() int { return len(in.perSM) }
+
+// Aggregate sums the per-SM counts. Call Flush first if the simulation has
+// ended and in-flight loads should resolve to main memory.
+func (in *Inspector) Aggregate() Counts {
+	var total Counts
+	for i := range in.perSM {
+		total.Add(&in.perSM[i])
+	}
+	return total
+}
+
+// PendingLoads reports how many loads have unresolved attribution; useful
+// for leak checks in tests.
+func (in *Inspector) PendingLoads() int {
+	n := 0
+	for _, p := range in.pending {
+		if !p.done {
+			n++
+		}
+	}
+	return n
+}

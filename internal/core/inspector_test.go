@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInspectorDeferredAttribution(t *testing.T) {
+	in := NewInspector(1)
+	// Three cycles blocked on load 5, then the load completes at the L2.
+	for i := 0; i < 3; i++ {
+		in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: 5}})
+	}
+	if got := in.SM(0).MemData[WhereL2]; got != 0 {
+		t.Fatalf("attributed %d cycles before completion", got)
+	}
+	if in.PendingLoads() != 1 {
+		t.Fatalf("PendingLoads = %d, want 1", in.PendingLoads())
+	}
+	in.LoadCompleted(5, WhereL2)
+	if got := in.SM(0).MemData[WhereL2]; got != 3 {
+		t.Fatalf("L2 bucket = %d, want 3", got)
+	}
+	// A stall charged after completion resolves immediately.
+	in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: 5}})
+	if got := in.SM(0).MemData[WhereL2]; got != 4 {
+		t.Fatalf("post-completion L2 bucket = %d, want 4", got)
+	}
+}
+
+func TestInspectorFlushUnresolved(t *testing.T) {
+	in := NewInspector(1)
+	in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: 9}})
+	in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: 9}})
+	in.Flush()
+	if got := in.SM(0).MemData[WhereMemory]; got != 2 {
+		t.Fatalf("flush charged %d to main memory, want 2", got)
+	}
+	if in.PendingLoads() != 0 {
+		t.Fatalf("PendingLoads after flush = %d", in.PendingLoads())
+	}
+}
+
+func TestInspectorZeroLoadID(t *testing.T) {
+	in := NewInspector(1)
+	// A data hazard with no identified load charges the closest service
+	// point (local L1) immediately.
+	in.Observe(0, []WarpObs{{Kind: MemData}})
+	if got := in.SM(0).MemData[WhereL1]; got != 1 {
+		t.Fatalf("L1 bucket = %d, want 1", got)
+	}
+}
+
+func TestInspectorEagerAblation(t *testing.T) {
+	in := NewInspector(1)
+	in.EagerAttribution = true
+	in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: 3}})
+	in.LoadCompleted(3, WhereL2) // ignored in eager mode
+	if got := in.SM(0).MemData[WhereMemory]; got != 1 {
+		t.Fatalf("eager main-memory bucket = %d, want 1", got)
+	}
+	if got := in.SM(0).MemData[WhereL2]; got != 0 {
+		t.Fatalf("eager L2 bucket = %d, want 0", got)
+	}
+}
+
+func TestInspectorStructuralAttribution(t *testing.T) {
+	in := NewInspector(2)
+	in.Observe(1, []WarpObs{{Kind: MemStructural, StructCause: StructStoreBufferFull}})
+	in.Observe(1, []WarpObs{{Kind: MemStructural, StructCause: StructPendingRelease}})
+	c := in.SM(1)
+	if c.MemStruct[StructStoreBufferFull] != 1 || c.MemStruct[StructPendingRelease] != 1 {
+		t.Fatalf("structural buckets = %v", c.MemStruct)
+	}
+	if c.Cycles[MemStructural] != 2 {
+		t.Fatalf("structural cycles = %d, want 2", c.Cycles[MemStructural])
+	}
+	// Defensive: a structural cycle with no cause lands in the generic
+	// bucket rather than disappearing.
+	in.RecordCycle(0, CycleClass{Kind: MemStructural})
+	if in.SM(0).MemStruct[StructMSHRFull] != 1 {
+		t.Fatalf("causeless structural cycle not charged")
+	}
+}
+
+func TestInspectorAggregate(t *testing.T) {
+	in := NewInspector(3)
+	in.Observe(0, []WarpObs{{Kind: NoStall}})
+	in.Observe(1, nil) // idle
+	in.Observe(2, []WarpObs{{Kind: Sync}})
+	agg := in.Aggregate()
+	if agg.Total() != 3 {
+		t.Fatalf("aggregate total = %d, want 3", agg.Total())
+	}
+	if agg.Cycles[NoStall] != 1 || agg.Cycles[Idle] != 1 || agg.Cycles[Sync] != 1 {
+		t.Fatalf("aggregate = %v", agg.Cycles)
+	}
+}
+
+func TestInspectorLoadCompletedWithoutStalls(t *testing.T) {
+	in := NewInspector(1)
+	in.LoadCompleted(77, WhereL2) // never blocked anyone
+	if in.PendingLoads() != 0 {
+		t.Fatalf("completion created a pending record")
+	}
+	if in.Aggregate().Total() != 0 {
+		t.Fatalf("completion created cycles")
+	}
+}
+
+// TestInspectorConservation: however stalls are interleaved with
+// completions, total mem-data sub-bucket cycles equal total MemData cycles
+// after Flush.
+func TestInspectorConservation(t *testing.T) {
+	prop := func(events []uint16) bool {
+		in := NewInspector(1)
+		for _, e := range events {
+			id := LoadID(e%7) + 1
+			if e%3 == 0 {
+				in.LoadCompleted(id, DataWhere(int(e/3)%NumDataWheres))
+			} else {
+				in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: id}})
+			}
+		}
+		in.Flush()
+		c := in.SM(0)
+		var sub uint64
+		for _, v := range c.MemData {
+			sub += v
+		}
+		return sub == c.Cycles[MemData]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	var a, b Counts
+	a.Cycles[Sync] = 2
+	a.MemData[WhereL2] = 1
+	b.Cycles[Sync] = 3
+	b.MemStruct[StructMSHRFull] = 4
+	a.Add(&b)
+	if a.Cycles[Sync] != 5 || a.MemData[WhereL2] != 1 || a.MemStruct[StructMSHRFull] != 4 {
+		t.Fatalf("Add result = %+v", a)
+	}
+}

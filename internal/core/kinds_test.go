@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStallKindStrings(t *testing.T) {
+	want := map[StallKind]string{
+		NoStall: "no stall", Idle: "idle", Control: "control",
+		Sync: "synchronization", MemData: "memory data",
+		MemStructural: "memory structural", CompData: "compute data",
+		CompStructural: "compute structural",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(StallKind(250).String(), "250") {
+		t.Errorf("unknown kind string: %q", StallKind(250).String())
+	}
+}
+
+func TestReportOrders(t *testing.T) {
+	if got := len(StallKinds()); got != NumStallKinds {
+		t.Errorf("StallKinds() has %d entries, want %d", got, NumStallKinds)
+	}
+	seen := map[StallKind]bool{}
+	for _, k := range StallKinds() {
+		if seen[k] {
+			t.Errorf("duplicate kind %v in report order", k)
+		}
+		seen[k] = true
+	}
+	// DataWheres excludes the internal WhereUnknown.
+	if got := len(DataWheres()); got != NumDataWheres-1 {
+		t.Errorf("DataWheres() has %d entries, want %d", got, NumDataWheres-1)
+	}
+	for _, w := range DataWheres() {
+		if w == WhereUnknown {
+			t.Errorf("WhereUnknown leaked into report order")
+		}
+	}
+	// StructCauses excludes StructNone.
+	if got := len(StructCauses()); got != NumStructCauses-1 {
+		t.Errorf("StructCauses() has %d entries, want %d", got, NumStructCauses-1)
+	}
+	for _, c := range StructCauses() {
+		if c == StructNone {
+			t.Errorf("StructNone leaked into report order")
+		}
+	}
+}
+
+func TestSubClassStrings(t *testing.T) {
+	labels := map[string]bool{}
+	for _, w := range DataWheres() {
+		labels[w.String()] = true
+	}
+	for _, want := range []string{"L1 cache", "L1 coalescing", "L2 cache", "remote L1 cache", "main memory"} {
+		if !labels[want] {
+			t.Errorf("missing data-stall label %q", want)
+		}
+	}
+	labels = map[string]bool{}
+	for _, c := range StructCauses() {
+		labels[c.String()] = true
+	}
+	for _, want := range []string{"full MSHR", "full store buffer", "bank conflict", "pending release", "pending DMA"} {
+		if !labels[want] {
+			t.Errorf("missing structural label %q", want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline records how each SM's cycle classification evolves over a run
+// and renders it as one character column per time bucket — the
+// "visualizing the causes of GPU stalls" half of GSI. It keeps a bounded
+// number of buckets by doubling the bucket width whenever a run outgrows
+// the current resolution (streaming downsample), so memory use is constant
+// regardless of run length.
+type Timeline struct {
+	maxBuckets  int
+	bucketWidth uint64
+	sms         []timelineSM
+}
+
+type timelineSM struct {
+	buckets []bucket
+	fill    uint64 // cycles recorded into the last bucket
+}
+
+type bucket struct {
+	counts [NumStallKinds]uint32
+}
+
+// NewTimeline returns a timeline for numSMs SMs with at most maxBuckets
+// columns per SM.
+func NewTimeline(numSMs, maxBuckets int) *Timeline {
+	if maxBuckets < 8 {
+		maxBuckets = 8
+	}
+	return &Timeline{
+		maxBuckets:  maxBuckets,
+		bucketWidth: 1,
+		sms:         make([]timelineSM, numSMs),
+	}
+}
+
+// Record appends one classified cycle for an SM. Cycles must arrive in
+// order (one per simulation cycle), which is how the Inspector drives it.
+func (tl *Timeline) Record(sm int, kind StallKind) {
+	s := &tl.sms[sm]
+	if len(s.buckets) == 0 || s.fill == tl.bucketWidth {
+		if len(s.buckets) == tl.maxBuckets {
+			tl.rescale()
+		}
+		s.buckets = append(s.buckets, bucket{})
+		s.fill = 0
+	}
+	s.buckets[len(s.buckets)-1].counts[kind]++
+	s.fill++
+}
+
+// rescale doubles the bucket width, merging adjacent buckets on every SM.
+func (tl *Timeline) rescale() {
+	for i := range tl.sms {
+		s := &tl.sms[i]
+		merged := s.buckets[:0]
+		for j := 0; j < len(s.buckets); j += 2 {
+			b := s.buckets[j]
+			if j+1 < len(s.buckets) {
+				for k := range b.counts {
+					b.counts[k] += s.buckets[j+1].counts[k]
+				}
+			}
+			merged = append(merged, b)
+		}
+		s.buckets = merged
+		// The (possibly partial) last bucket absorbs future cycles up
+		// to the new width.
+		s.fill += tl.bucketWidth
+		if s.fill > 2*tl.bucketWidth {
+			s.fill = 2 * tl.bucketWidth
+		}
+	}
+	tl.bucketWidth *= 2
+}
+
+// BucketWidth returns the current cycles-per-column resolution.
+func (tl *Timeline) BucketWidth() uint64 { return tl.bucketWidth }
+
+// timelineGlyphs maps each stall kind to its timeline character; idle
+// renders as blank so busy phases stand out.
+var timelineGlyphs = [NumStallKinds]byte{
+	NoStall:        '#',
+	Idle:           ' ',
+	Control:        '+',
+	Sync:           ':',
+	MemData:        'o',
+	MemStructural:  '*',
+	CompData:       '.',
+	CompStructural: '%',
+}
+
+// Render draws one row per SM; each column shows the dominant
+// classification of that time bucket.
+func (tl *Timeline) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle timeline (1 column = %d cycles; dominant cause per bucket)\n", tl.bucketWidth)
+	for i := range tl.sms {
+		s := &tl.sms[i]
+		fmt.Fprintf(&sb, "SM%-3d |", i)
+		for _, b := range s.buckets {
+			sb.WriteByte(timelineGlyphs[dominant(&b)])
+		}
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("legend:")
+	for _, k := range StallKinds() {
+		g := timelineGlyphs[k]
+		if g == ' ' {
+			fmt.Fprintf(&sb, "  (blank)=%s", k)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %c=%s", g, k)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// dominant returns the kind with the most cycles in the bucket; ties go to
+// the earlier kind in report order.
+func dominant(b *bucket) StallKind {
+	best := NoStall
+	var bestN uint32
+	for _, k := range StallKinds() {
+		if n := b.counts[k]; n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}

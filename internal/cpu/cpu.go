@@ -1,0 +1,39 @@
+// Package cpu models the host side of the tightly coupled system. The
+// paper's case studies profile only the GPU, so the host's role here is the
+// same as in the original methodology: it owns the unified address space
+// before a kernel runs (initializing workload data structures) and launches
+// kernels. The host core's L1 always uses DeNovo coherence, as in both of
+// the paper's configurations.
+package cpu
+
+import "gsi/internal/mem"
+
+// Host is the CPU-side driver over the unified address space.
+type Host struct {
+	backing *mem.Backing
+}
+
+// NewHost attaches a host to the shared functional memory.
+func NewHost(b *mem.Backing) *Host { return &Host{backing: b} }
+
+// Write64 initializes one word.
+func (h *Host) Write64(addr, v uint64) { h.backing.Store64(addr, v) }
+
+// Read64 reads one word (result verification after a kernel).
+func (h *Host) Read64(addr uint64) uint64 { return h.backing.Load64(addr) }
+
+// WriteSlice initializes consecutive words starting at base.
+func (h *Host) WriteSlice(base uint64, vals []uint64) {
+	for i, v := range vals {
+		h.backing.Store64(base+uint64(i)*8, v)
+	}
+}
+
+// ReadSlice reads n consecutive words starting at base.
+func (h *Host) ReadSlice(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = h.backing.Load64(base + uint64(i)*8)
+	}
+	return out
+}

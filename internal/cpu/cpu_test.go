@@ -1,0 +1,27 @@
+package cpu
+
+import (
+	"testing"
+
+	"gsi/internal/mem"
+)
+
+func TestHostMemoryAccess(t *testing.T) {
+	b := mem.NewBacking()
+	h := NewHost(b)
+	h.Write64(0x100, 7)
+	if h.Read64(0x100) != 7 {
+		t.Fatal("roundtrip failed")
+	}
+	h.WriteSlice(0x200, []uint64{1, 2, 3})
+	got := h.ReadSlice(0x200, 3)
+	for i, v := range []uint64{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("slice[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+	// Host writes are functional: the backing store sees them directly.
+	if b.Load64(0x208) != 2 {
+		t.Fatal("host write not visible in backing store")
+	}
+}

@@ -1,0 +1,57 @@
+package gpu_test
+
+import (
+	"testing"
+
+	"gsi/internal/coherence"
+	"gsi/internal/core"
+	"gsi/internal/gpu"
+	"gsi/internal/isa"
+)
+
+// TestSFUStallSubclassification: a dependent chain of SFU ops from several
+// warps must produce compute data stalls attributed to the SFU and compute
+// structural stalls on its issue interval.
+func TestSFUStallSubclassification(t *testing.T) {
+	b := isa.NewBuilder("sfu")
+	b.MovI(1, 7)
+	for i := 0; i < 8; i++ {
+		b.SFU(1, 1) // dependent chain: each waits SFULat
+	}
+	b.Exit()
+	g, err := gpu.New(smallCfg(1), coherence.PoliciesFor(1, coherence.DeNovo{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, g, &gpu.Kernel{Name: "sfu", Program: b.MustBuild(), Blocks: 1, WarpsPerBlock: 4})
+	c := g.Insp.SM(0)
+	if c.CompData[core.UnitSFU] == 0 {
+		t.Error("no SFU-attributed compute data stalls")
+	}
+	if c.Cycles[core.CompData] != c.CompData[core.UnitALU]+c.CompData[core.UnitSFU]+c.CompData[core.UnitIssue] {
+		t.Error("compute data sub-buckets do not sum to the top-level count")
+	}
+}
+
+// TestALUStallSubclassification: a dependent ALU chain attributes its
+// compute data stalls to the ALU.
+func TestALUStallSubclassification(t *testing.T) {
+	b := isa.NewBuilder("alu-chain")
+	b.MovI(1, 3)
+	for i := 0; i < 16; i++ {
+		b.Mul(1, 1, 1) // 4-cycle latency chain, single warp
+	}
+	b.Exit()
+	g, err := gpu.New(smallCfg(1), coherence.PoliciesFor(1, coherence.DeNovo{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, g, &gpu.Kernel{Name: "alu-chain", Program: b.MustBuild(), Blocks: 1, WarpsPerBlock: 1})
+	c := g.Insp.SM(0)
+	if c.CompData[core.UnitALU] == 0 {
+		t.Error("no ALU-attributed compute data stalls for a dependent chain")
+	}
+	if c.CompData[core.UnitSFU] != 0 {
+		t.Error("phantom SFU stalls")
+	}
+}

@@ -1,0 +1,112 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gsi/internal/core"
+	"gsi/internal/mem"
+	"gsi/internal/sim"
+)
+
+// GPU is the full simulated device: the memory system, the SMs, and the
+// GSI Inspector. One GPU runs one kernel launch at a time.
+type GPU struct {
+	Cfg  sim.Config
+	Sys  *mem.System
+	Insp *core.Inspector
+	SMs  []*SM
+
+	kernel     *Kernel
+	nextBlock  int
+	blocksDone int
+	loadSeq    uint64
+}
+
+// New builds a GPU with the given per-core coherence policies (one per
+// core: SMs first, then the CPU; see coherence.ForGPU).
+func New(cfg sim.Config, policies []mem.Policy) (*GPU, error) {
+	sys, err := mem.NewSystem(cfg, policies)
+	if err != nil {
+		return nil, err
+	}
+	g := &GPU{
+		Cfg:  cfg,
+		Sys:  sys,
+		Insp: core.NewInspector(cfg.NumSMs),
+	}
+	g.SMs = make([]*SM, cfg.NumSMs)
+	for i := range g.SMs {
+		g.SMs[i] = newSM(i, g, sys.Cores[i])
+	}
+	return g, nil
+}
+
+// nextLoadID allocates a run-unique load identifier for GSI attribution.
+func (g *GPU) nextLoadID() core.LoadID {
+	g.loadSeq++
+	return core.LoadID(g.loadSeq)
+}
+
+// Launch installs a kernel and dispatches its first blocks (round-robin,
+// one resident block per SM; further blocks start as SMs free up).
+func (g *GPU) Launch(k *Kernel) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if g.kernel != nil && g.blocksDone < g.kernel.Blocks {
+		return fmt.Errorf("gpu: kernel %q still running", g.kernel.Name)
+	}
+	if k.WarpsPerBlock > g.Cfg.WarpsPerSM {
+		return fmt.Errorf("gpu: kernel %q needs %d warps per block, SM holds %d",
+			k.Name, k.WarpsPerBlock, g.Cfg.WarpsPerSM)
+	}
+	g.kernel = k
+	g.nextBlock = 0
+	g.blocksDone = 0
+	for _, sm := range g.SMs {
+		if g.nextBlock >= k.Blocks {
+			break
+		}
+		sm.startBlock(k, g.nextBlock)
+		g.nextBlock++
+	}
+	return nil
+}
+
+// blockDone is called by an SM that finished (and drained) its block; the
+// SM picks up the next pending block if any remain.
+func (g *GPU) blockDone(sm *SM) {
+	g.blocksDone++
+	if g.nextBlock < g.kernel.Blocks {
+		sm.startBlock(g.kernel, g.nextBlock)
+		g.nextBlock++
+	}
+}
+
+// Done reports kernel completion: every block retired and the memory
+// system quiesced.
+func (g *GPU) Done() bool {
+	return g.kernel != nil && g.blocksDone == g.kernel.Blocks && g.Sys.Quiesced()
+}
+
+// Tick advances the device one GPU cycle: memory side first (mesh, memory
+// controller, banks, core units), then every SM.
+func (g *GPU) Tick(cycle uint64) {
+	g.Sys.Tick(cycle)
+	for _, sm := range g.SMs {
+		sm.Tick(cycle)
+	}
+}
+
+// Run drives the launched kernel to completion and returns the cycle
+// count. It resolves GSI's deferred attribution before returning.
+func (g *GPU) Run() (uint64, error) {
+	if g.kernel == nil {
+		return 0, fmt.Errorf("gpu: no kernel launched")
+	}
+	eng := sim.NewEngine()
+	eng.Register("gpu", sim.TickFunc(g.Tick))
+	cycles, err := eng.Run(g.Done, g.Cfg.MaxCycles)
+	g.Insp.Flush()
+	return cycles, err
+}

@@ -1,0 +1,83 @@
+// Package gpu implements the cycle-level SIMT core model: streaming
+// multiprocessors with warps, a greedy-then-oldest dual-issue scheduler,
+// per-warp instruction buffers, a scoreboard, ALU/SFU pipelines, a
+// load/store unit with coalescing, and the local-memory organizations of
+// case study 2. The SM issue stage is where GSI observes: every cycle, each
+// active warp's issue condition is classified with Algorithm 1 and the
+// cycle with Algorithm 2 (see internal/core).
+package gpu
+
+import (
+	"fmt"
+
+	"gsi/internal/isa"
+	"gsi/internal/scratchpad"
+)
+
+// LocalKind selects the local-memory organization a kernel's OpLdL/OpStL
+// instructions address.
+type LocalKind uint8
+
+const (
+	// LocalNone: the kernel uses no local memory.
+	LocalNone LocalKind = iota
+	// LocalScratch: baseline software-managed scratchpad.
+	LocalScratch
+	// LocalScratchDMA: scratchpad preloaded (and written back) by a DMA
+	// engine; mapped accesses block at core granularity while the bulk
+	// load is in flight.
+	LocalScratchDMA
+	// LocalStash: coherent stash; mapped lines fill on demand, blocking
+	// only the touching warp, and dirty lines register lazily.
+	LocalStash
+)
+
+// String names the organization as in the paper's figures.
+func (k LocalKind) String() string {
+	switch k {
+	case LocalNone:
+		return "none"
+	case LocalScratch:
+		return "scratchpad"
+	case LocalScratchDMA:
+		return "scratchpad+DMA"
+	case LocalStash:
+		return "stash"
+	}
+	return fmt.Sprintf("LocalKind(%d)", uint8(k))
+}
+
+// Kernel describes one GPU kernel launch.
+type Kernel struct {
+	Name    string
+	Program *isa.Program
+	// Blocks is the grid size; blocks are dispatched to SMs round-robin
+	// and a block occupies its SM until every warp exits.
+	Blocks int
+	// WarpsPerBlock warps execute Program concurrently per block.
+	WarpsPerBlock int
+	// InitRegs seeds a warp's registers before it starts (block and warp
+	// identifiers, base addresses, per-warp work partitions).
+	InitRegs func(block, warp int, regs *[isa.NumRegs]uint64)
+	// Local selects the local-memory organization for OpLdL/OpStL.
+	Local LocalKind
+	// LocalMap supplies the block's scratchpad/stash window onto global
+	// memory. Required for LocalScratchDMA and LocalStash; optional for
+	// LocalScratch (the baseline moves data with explicit instructions).
+	LocalMap func(block int) scratchpad.Mapping
+}
+
+// Validate reports the first structural problem with the kernel.
+func (k *Kernel) Validate() error {
+	switch {
+	case k.Program == nil:
+		return fmt.Errorf("gpu: kernel %q has no program", k.Name)
+	case k.Blocks < 1:
+		return fmt.Errorf("gpu: kernel %q has %d blocks", k.Name, k.Blocks)
+	case k.WarpsPerBlock < 1:
+		return fmt.Errorf("gpu: kernel %q has %d warps per block", k.Name, k.WarpsPerBlock)
+	case (k.Local == LocalScratchDMA || k.Local == LocalStash) && k.LocalMap == nil:
+		return fmt.Errorf("gpu: kernel %q: %s requires LocalMap", k.Name, k.Local)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package gpu
+
+import (
+	"gsi/internal/core"
+	"gsi/internal/isa"
+	"gsi/internal/mem"
+	"gsi/internal/scratchpad"
+)
+
+// SM is one streaming multiprocessor. Its Tick runs the local-memory
+// engines, the LSU, and then the issue stage, where every active warp is
+// classified (Algorithm 1) and the cycle recorded (Algorithm 2) through the
+// GPU's Inspector.
+type SM struct {
+	id  int
+	gpu *GPU
+	cm  *mem.CoreMem
+	lsu *LSU
+
+	pad   *scratchpad.Scratchpad
+	dma   *scratchpad.DMAEngine
+	stash *scratchpad.Stash
+
+	kernel    *Kernel
+	localKind LocalKind
+	block     int
+	warps     []*Warp
+
+	greedy         int
+	slots          int
+	barrierArrived int
+	finished       int
+	flushStarted   bool
+	sfuBusyUntil   uint64
+
+	obsBuf []core.WarpObs
+	order  []int
+
+	// Stats.
+	InstrsIssued uint64
+	BlocksRun    uint64
+}
+
+func newSM(id int, g *GPU, cm *mem.CoreMem) *SM {
+	sm := &SM{
+		id:    id,
+		gpu:   g,
+		cm:    cm,
+		pad:   scratchpad.New(g.Cfg.ScratchSize, g.Cfg.ScratchBanks),
+		block: -1,
+	}
+	sm.lsu = newLSU(sm)
+	sm.stash = scratchpad.NewStash(sm.pad, g.Cfg.LineSize)
+	sm.dma = scratchpad.NewDMAEngine(sm.pad, cm, g.Sys.Backing, g.Sys.Mesh,
+		g.Sys.CoreTile(id), id, g.Sys.BankTile, g.Cfg.LineSize)
+	cm.OnLoadDone = sm.onLoadDone
+	cm.OnAtomicDone = sm.onAtomicDone
+	cm.OnWriteAck = sm.dma.WriteAcked
+	return sm
+}
+
+// startBlock installs one thread block on the SM: warps are reset and
+// seeded, the kernel-launch acquire self-invalidates the L1, and the local
+// memory organization is programmed.
+func (sm *SM) startBlock(k *Kernel, block int) {
+	sm.kernel = k
+	sm.localKind = k.Local
+	sm.block = block
+	sm.BlocksRun++
+	if cap(sm.warps) < k.WarpsPerBlock {
+		sm.warps = make([]*Warp, k.WarpsPerBlock)
+		for i := range sm.warps {
+			sm.warps[i] = &Warp{idx: i}
+		}
+	}
+	sm.warps = sm.warps[:k.WarpsPerBlock]
+	for i, w := range sm.warps {
+		w.reset(k.Program)
+		if k.InitRegs != nil {
+			k.InitRegs(block, i, &w.regs)
+		}
+	}
+	sm.greedy = 0
+	sm.barrierArrived = 0
+	sm.finished = 0
+	sm.flushStarted = false
+	sm.cm.SelfInvalidate() // kernel launch has acquire semantics
+
+	sm.pad.Reset()
+	switch k.Local {
+	case LocalScratchDMA:
+		sm.dma.StartIn(k.LocalMap(block))
+	case LocalStash:
+		sm.stash.SetMapping(k.LocalMap(block))
+	}
+}
+
+// Tick advances the SM one cycle.
+func (sm *SM) Tick(cycle uint64) {
+	if sm.localKind == LocalScratchDMA {
+		sm.dma.Tick(cycle)
+	}
+	sm.lsu.Tick(cycle)
+	sm.issueStage(cycle)
+	if sm.kernel != nil && sm.finished == len(sm.warps) {
+		sm.finishBlock(cycle)
+	}
+}
+
+// issueStage classifies every active warp (issuing up to IssueWidth of
+// them) and records the cycle with the Inspector.
+func (sm *SM) issueStage(cycle uint64) {
+	sm.obsBuf = sm.obsBuf[:0]
+	if sm.kernel != nil {
+		sm.slots = sm.gpu.Cfg.IssueWidth
+		// Greedy-then-oldest: the warp that issued last keeps priority
+		// while it can issue; everyone else is considered least
+		// recently issued first (ties by index). The LRU fallback is
+		// what keeps a lock holder making progress while cheap local
+		// atomics let spinners saturate the issue ports.
+		for _, idx := range sm.schedOrder() {
+			sm.considerWarp(sm.warps[idx], cycle)
+		}
+	}
+	sm.gpu.Insp.Observe(sm.id, sm.obsBuf)
+}
+
+// schedOrder builds the warp consideration order: greedy warp first, the
+// rest sorted by last issue cycle (oldest first), then index.
+func (sm *SM) schedOrder() []int {
+	sm.order = sm.order[:0]
+	if g := sm.greedy; g < len(sm.warps) && sm.warps[g].state != warpFinished {
+		sm.order = append(sm.order, g)
+	}
+	start := len(sm.order)
+	for i, w := range sm.warps {
+		if i == sm.greedy || w.state == warpFinished {
+			continue
+		}
+		sm.order = append(sm.order, i)
+	}
+	rest := sm.order[start:]
+	// Insertion sort: warp counts are small and the slice is nearly
+	// sorted from cycle to cycle.
+	for i := 1; i < len(rest); i++ {
+		for j := i; j > 0; j-- {
+			a, b := sm.warps[rest[j-1]], sm.warps[rest[j]]
+			if a.lastIssue < b.lastIssue ||
+				(a.lastIssue == b.lastIssue && rest[j-1] < rest[j]) {
+				break
+			}
+			rest[j-1], rest[j] = rest[j], rest[j-1]
+		}
+	}
+	return sm.order
+}
+
+// considerWarp builds the warp's issue condition, issues if possible, and
+// appends the Algorithm-1 classification.
+func (sm *SM) considerWarp(w *Warp, cycle uint64) {
+	var cond core.Cond
+	switch w.state {
+	case warpAtomic, warpBarrier:
+		cond.SyncBlocked = true
+	case warpReady:
+		if cycle < w.ibufReadyAt {
+			cond.NextUnavailable = true
+			break
+		}
+		in := w.next()
+		memHaz, blocking, compHaz, compUnit := w.hazards(in, cycle)
+		cond.MemDataHazard = memHaz
+		cond.PendingLoad = blocking
+		cond.CompDataHazard = compHaz
+		cond.CompDataUnit = compUnit
+		switch in.Op.Class() {
+		case isa.ClassMem, isa.ClassAtomic:
+			if ok, cause := sm.lsu.CanAccept(cycle); !ok {
+				cond.MemStructHazard = true
+				cond.StructCause = cause
+			}
+		case isa.ClassSFU:
+			if sm.sfuBusyUntil > cycle {
+				cond.CompStructHazard = true
+				cond.CompStructUnit = core.UnitSFU
+			}
+		}
+		if !memHaz && !compHaz && !cond.MemStructHazard && !cond.CompStructHazard {
+			if sm.slots > 0 {
+				sm.slots--
+				cond.Issued = true
+				sm.greedy = w.idx
+				w.lastIssue = cycle
+				sm.execute(w, in, cycle)
+			}
+		}
+	}
+	sm.obsBuf = append(sm.obsBuf, core.ClassifyInstruction(cond))
+}
+
+// execute performs one issued instruction.
+func (sm *SM) execute(w *Warp, in isa.Instr, cycle uint64) {
+	sm.InstrsIssued++
+	cfg := &sm.gpu.Cfg
+	switch in.Op.Class() {
+	case isa.ClassNop:
+		w.pc++
+	case isa.ClassALU:
+		w.regs[in.Rd] = isa.EvalALU(in.Op, w.regs[in.Ra], w.regs[in.Rb], w.regs[in.Rd], in.Imm)
+		w.setPendingCompute(in.Rd, cycle+uint64(cfg.ALULat), core.UnitALU)
+		w.pc++
+	case isa.ClassSFU:
+		w.regs[in.Rd] = isa.EvalALU(in.Op, w.regs[in.Ra], 0, 0, 0)
+		w.setPendingCompute(in.Rd, cycle+uint64(cfg.SFULat), core.UnitSFU)
+		sm.sfuBusyUntil = cycle + uint64(cfg.SFUInterval)
+		w.pc++
+	case isa.ClassCtrl:
+		if isa.BranchTaken(in.Op, w.regs[in.Ra], w.regs[in.Rb]) {
+			w.pc = in.Target
+			w.ibufReadyAt = cycle + uint64(cfg.FetchLat)
+		} else {
+			w.pc++
+		}
+	case isa.ClassBarrier:
+		w.pc++
+		w.state = warpBarrier
+		sm.barrierArrived++
+		sm.checkBarrier()
+	case isa.ClassExit:
+		w.state = warpFinished
+		sm.finished++
+		sm.checkBarrier() // fewer active warps may release the barrier
+	case isa.ClassMem, isa.ClassAtomic:
+		w.pc++
+		sm.lsu.Accept(w, in, cycle)
+	}
+}
+
+// checkBarrier releases waiting warps once every still-active warp has
+// arrived.
+func (sm *SM) checkBarrier() {
+	active := len(sm.warps) - sm.finished
+	if sm.barrierArrived == 0 || sm.barrierArrived < active {
+		return
+	}
+	for _, w := range sm.warps {
+		if w.state == warpBarrier {
+			w.state = warpReady
+		}
+	}
+	sm.barrierArrived = 0
+}
+
+// finishBlock sequences the end-of-kernel release: flush the store buffer
+// (and start the DMA write-back), then report the block done once
+// everything has drained.
+func (sm *SM) finishBlock(cycle uint64) {
+	if !sm.flushStarted {
+		sm.flushStarted = true
+		sm.cm.FlushAll()
+		if sm.localKind == LocalScratchDMA {
+			sm.dma.StartOut()
+		}
+		return
+	}
+	if sm.cm.Quiesced() && sm.lsu.Idle() && sm.dma.Quiesced() {
+		sm.kernel = nil
+		sm.localKind = LocalNone
+		sm.block = -1
+		sm.gpu.blockDone(sm)
+	}
+}
+
+// onLoadDone dispatches fill completions to their unit.
+func (sm *SM) onLoadDone(t mem.Target, where core.DataWhere) {
+	switch t.Kind {
+	case mem.TargetLoad:
+		sm.lsu.LoadFillDone(t, where)
+	case mem.TargetDMAFill:
+		sm.dma.FillDone(t.Aux)
+	}
+}
+
+// onAtomicDone unblocks the warp and delivers the old value.
+// Fire-and-forget atomics never blocked anyone and carry no result.
+func (sm *SM) onAtomicDone(op mem.AtomicOp, old uint64) {
+	if op.NoRet {
+		return
+	}
+	w := sm.warps[op.Warp]
+	w.regs[op.Rd] = old
+	if w.state == warpAtomic {
+		w.state = warpReady
+	}
+}

@@ -1,0 +1,131 @@
+package gpu
+
+import (
+	"gsi/internal/core"
+	"gsi/internal/isa"
+)
+
+// warpState is a warp's scheduling state.
+type warpState uint8
+
+const (
+	// warpReady: the warp competes for issue.
+	warpReady warpState = iota
+	// warpBarrier: blocked at a thread-block barrier (sync stall).
+	warpBarrier
+	// warpAtomic: blocked on a pending acquire/release atomic (sync
+	// stall).
+	warpAtomic
+	// warpFinished: the warp has exited.
+	warpFinished
+)
+
+// pendKind says what a scoreboarded register is waiting on.
+type pendKind uint8
+
+const (
+	pendNone pendKind = iota
+	// pendCompute: an ALU/SFU result arrives at readyAt.
+	pendCompute
+	// pendLoad: a load identified by loadID is in flight.
+	pendLoad
+)
+
+// regStatus is one scoreboard slot.
+type regStatus struct {
+	kind    pendKind
+	readyAt uint64
+	loadID  core.LoadID
+	unit    core.CompUnit // producing pipeline for pendCompute
+}
+
+// Warp is one resident warp: program counter, warp-scalar registers, the
+// scoreboard, and instruction-buffer state.
+type Warp struct {
+	idx   int // index within the SM
+	prog  *isa.Program
+	pc    int
+	regs  [isa.NumRegs]uint64
+	board [isa.NumRegs]regStatus
+	state warpState
+
+	// ibufReadyAt models the instruction buffer: after a taken branch
+	// the buffer refills and the next instruction is unavailable until
+	// this cycle (control stalls).
+	ibufReadyAt uint64
+
+	// lastIssue is the cycle this warp last issued; the scheduler's
+	// "oldest" fallback prefers the least recently issued warp, which
+	// guarantees a blocked-but-ready warp (e.g. a lock holder amid
+	// cheap spinners) eventually gets an issue slot.
+	lastIssue uint64
+}
+
+// reset prepares the warp to run prog from pc 0.
+func (w *Warp) reset(prog *isa.Program) {
+	w.prog = prog
+	w.pc = 0
+	w.regs = [isa.NumRegs]uint64{}
+	w.board = [isa.NumRegs]regStatus{}
+	w.state = warpReady
+	w.ibufReadyAt = 0
+	w.lastIssue = 0
+}
+
+// next returns the instruction at the warp's pc.
+func (w *Warp) next() isa.Instr { return w.prog.At(w.pc) }
+
+// clearReady lazily retires compute scoreboard entries whose results have
+// arrived.
+func (w *Warp) clearReady(r isa.Reg, cycle uint64) {
+	if w.board[r].kind == pendCompute && w.board[r].readyAt <= cycle {
+		w.board[r] = regStatus{}
+	}
+}
+
+// hazards inspects the scoreboard for the instruction's operands (reads
+// plus the write destination, for WAW). It reports a memory-data hazard
+// with the blocking load, or a compute-data hazard.
+func (w *Warp) hazards(in isa.Instr, cycle uint64) (memHaz bool, blocking core.LoadID, compHaz bool, compUnit core.CompUnit) {
+	var buf [4]isa.Reg
+	regs := in.ReadRegs(buf[:0])
+	if rd, ok := in.WritesReg(); ok {
+		regs = append(regs, rd)
+	}
+	for _, r := range regs {
+		w.clearReady(r, cycle)
+		switch w.board[r].kind {
+		case pendLoad:
+			if !memHaz {
+				memHaz = true
+				blocking = w.board[r].loadID
+			}
+		case pendCompute:
+			if !compHaz {
+				compHaz = true
+				compUnit = w.board[r].unit
+			}
+		}
+	}
+	return memHaz, blocking, compHaz, compUnit
+}
+
+// setPendingCompute marks rd as produced by a compute op on the given
+// pipeline finishing at readyAt.
+func (w *Warp) setPendingCompute(rd isa.Reg, readyAt uint64, unit core.CompUnit) {
+	w.board[rd] = regStatus{kind: pendCompute, readyAt: readyAt, unit: unit}
+}
+
+// setPendingLoad marks rd as produced by an in-flight load.
+func (w *Warp) setPendingLoad(rd isa.Reg, id core.LoadID) {
+	w.board[rd] = regStatus{kind: pendLoad, loadID: id}
+}
+
+// loadArrived retires the scoreboard entry for a completed load and writes
+// the value.
+func (w *Warp) loadArrived(rd isa.Reg, id core.LoadID, value uint64) {
+	if w.board[rd].kind == pendLoad && w.board[rd].loadID == id {
+		w.board[rd] = regStatus{}
+		w.regs[rd] = value
+	}
+}

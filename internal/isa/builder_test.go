@@ -1,0 +1,150 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBackwardBranch(t *testing.T) {
+	b := NewBuilder("loop")
+	b.MovI(1, 3)
+	top := b.Here()
+	b.AddI(1, 1, -1)
+	b.BNE(1, 0, top)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len = %d, want 4", p.Len())
+	}
+	if p.At(2).Target != 1 {
+		t.Fatalf("branch target = %d, want 1", p.At(2).Target)
+	}
+}
+
+func TestBuilderForwardBranch(t *testing.T) {
+	b := NewBuilder("fwd")
+	done := b.NewLabel()
+	b.BEQ(1, 2, done)
+	b.Nop()
+	b.Bind(done)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0).Target != 2 {
+		t.Fatalf("forward target = %d, want 2", p.At(0).Target)
+	}
+}
+
+func TestBuilderSharedLabelMultipleUses(t *testing.T) {
+	b := NewBuilder("multi")
+	l := b.NewLabel()
+	b.Br(l)
+	b.BEQ(1, 1, l)
+	b.Bind(l)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0).Target != 2 || p.At(1).Target != 2 {
+		t.Fatalf("targets = %d, %d, want 2, 2", p.At(0).Target, p.At(1).Target)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("unbound label", func(t *testing.T) {
+		b := NewBuilder("bad")
+		b.Br(b.NewLabel())
+		b.Exit()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "never bound") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("no exit", func(t *testing.T) {
+		b := NewBuilder("noexit")
+		b.Nop()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no exit") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("register out of range", func(t *testing.T) {
+		b := NewBuilder("regs")
+		b.MovI(Reg(NumRegs), 1)
+		b.Exit()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "register") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("double bind panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		b := NewBuilder("dup")
+		l := b.NewLabel()
+		b.Bind(l)
+		b.Nop()
+		b.Bind(l)
+	})
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("empty").MustBuild()
+}
+
+func TestProgramAtOutOfRange(t *testing.T) {
+	p := NewBuilder("p").Exit().MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.At(5)
+}
+
+func TestBuilderEmitsExpectedOps(t *testing.T) {
+	b := NewBuilder("all")
+	l := b.NewLabel()
+	b.Nop().MovI(1, 5).Mov(2, 1).Add(3, 1, 2).Sub(3, 1, 2).Mul(3, 1, 2)
+	b.And(3, 1, 2).Xor(3, 1, 2).Shr(3, 1, 2).AddI(3, 1, 1).MulI(3, 1, 2)
+	b.AndI(3, 1, 7).Min(3, 1, 2).FMA(3, 1, 2).SFU(3, 1)
+	b.Ld(4, 1, 0).St(1, 0, 4).LdV(4, 1, 8).StV(1, 8, 4)
+	b.LdL(4, 1, 0).StL(1, 0, 4).LdLV(4, 1, 8).StLV(1, 8, 4)
+	b.AtomCAS(4, 1, 0, 2, Acquire).AtomExch(4, 1, 0, Release).AtomAdd(4, 1, 2, Relaxed)
+	b.AtomAddNR(1, 2, Relaxed)
+	b.Bar().Bind(l).BEQ(1, 2, l).BNE(1, 2, l).BLT(1, 2, l).BGE(1, 2, l).Br(l)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{
+		OpNop, OpMovI, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpXor, OpShr,
+		OpAddI, OpMulI, OpAndI, OpMin, OpFMA, OpSFU,
+		OpLd, OpSt, OpLdV, OpStV, OpLdL, OpStL, OpLdLV, OpStLV,
+		OpAtomCAS, OpAtomExch, OpAtomAdd, OpAtomAdd,
+		OpBar, OpBEQ, OpBNE, OpBLT, OpBGE, OpBr, OpExit,
+	}
+	if p.Len() != len(wantOps) {
+		t.Fatalf("len = %d, want %d", p.Len(), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p.At(i).Op != op {
+			t.Errorf("instr %d = %s, want %s", i, p.At(i).Op, op)
+		}
+	}
+	if !p.At(26).NoRet {
+		t.Errorf("AtomAddNR lost NoRet flag")
+	}
+}

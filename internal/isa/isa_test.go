@@ -1,0 +1,159 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalALU(t *testing.T) {
+	tests := []struct {
+		op      Op
+		a, b, d uint64
+		imm     int64
+		want    uint64
+	}{
+		{OpMovI, 0, 0, 0, 42, 42},
+		{OpMov, 7, 0, 0, 0, 7},
+		{OpAdd, 3, 4, 0, 0, 7},
+		{OpSub, 3, 4, 0, 0, ^uint64(0)}, // wraparound
+		{OpMul, 6, 7, 0, 0, 42},
+		{OpAnd, 0b1100, 0b1010, 0, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0, 0b0110},
+		{OpShl, 1, 4, 0, 0, 16},
+		{OpShl, 1, 64, 0, 0, 1}, // shift count masked to 6 bits
+		{OpShr, 16, 4, 0, 0, 1},
+		{OpAddI, 10, 0, 0, -3, 7},
+		{OpMulI, 10, 0, 0, 3, 30},
+		{OpAndI, 0xFF, 0, 0, 0x0F, 0x0F},
+		{OpMin, 3, 9, 0, 0, 3},
+		{OpMin, 9, 3, 0, 0, 3},
+		{OpFMA, 2, 3, 4, 0, 10},
+	}
+	for _, tt := range tests {
+		if got := EvalALU(tt.op, tt.a, tt.b, tt.d, tt.imm); got != tt.want {
+			t.Errorf("EvalALU(%s, %d, %d, %d, %d) = %d, want %d",
+				tt.op, tt.a, tt.b, tt.d, tt.imm, got, tt.want)
+		}
+	}
+	if EvalALU(OpSFU, 5, 0, 0, 0) != Mix64(5) {
+		t.Errorf("SFU must compute Mix64")
+	}
+}
+
+func TestEvalALUPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvalALU(OpLd, 0, 0, 0, 0)
+}
+
+func TestBranchTaken(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b uint64
+		want bool
+	}{
+		{OpBr, 0, 0, true},
+		{OpBEQ, 1, 1, true}, {OpBEQ, 1, 2, false},
+		{OpBNE, 1, 2, true}, {OpBNE, 2, 2, false},
+		{OpBLT, 1, 2, true}, {OpBLT, 2, 2, false},
+		{OpBGE, 2, 2, true}, {OpBGE, 1, 2, false},
+	}
+	for _, tt := range tests {
+		if got := BranchTaken(tt.op, tt.a, tt.b); got != tt.want {
+			t.Errorf("BranchTaken(%s, %d, %d) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMix64Properties(t *testing.T) {
+	// Deterministic and adequately dispersive (no collisions over a
+	// small dense range, which the workloads rely on).
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		v := Mix64(i)
+		if v != Mix64(i) {
+			t.Fatalf("Mix64 not deterministic at %d", i)
+		}
+		if seen[v] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOpClassTotal(t *testing.T) {
+	// Every opcode has a class, a mnemonic, and consistent predicates.
+	for op := OpNop; op < numOps; op++ {
+		cls := op.Class() // must not panic
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if op.IsLoad() && op.IsStore() {
+			t.Errorf("%s is both load and store", op)
+		}
+		if (op.IsLoad() || op.IsStore()) && cls != ClassMem {
+			t.Errorf("%s is a load/store but class %d", op, cls)
+		}
+		if op.IsLocal() && !op.IsLoad() && !op.IsStore() {
+			t.Errorf("%s local but neither load nor store", op)
+		}
+		if op.IsVector() && cls != ClassMem {
+			t.Errorf("%s vector but not memory", op)
+		}
+	}
+}
+
+func TestOrderPredicates(t *testing.T) {
+	if !Acquire.IsAcquire() || Acquire.IsRelease() {
+		t.Error("Acquire predicates wrong")
+	}
+	if !Release.IsRelease() || Release.IsAcquire() {
+		t.Error("Release predicates wrong")
+	}
+	if !AcqRel.IsAcquire() || !AcqRel.IsRelease() {
+		t.Error("AcqRel predicates wrong")
+	}
+	if Relaxed.IsAcquire() || Relaxed.IsRelease() {
+		t.Error("Relaxed predicates wrong")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	ins := []Instr{
+		{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpLd, Rd: 1, Ra: 2, Imm: 8},
+		{Op: OpSt, Ra: 2, Imm: 8, Rb: 1},
+		{Op: OpBr, Target: 4},
+		{Op: OpBEQ, Ra: 1, Rb: 2, Target: 7},
+		{Op: OpAtomCAS, Rd: 1, Ra: 2, Rb: 3, Rc: 4, Order: Acquire},
+	}
+	for _, in := range ins {
+		if in.String() == "" {
+			t.Errorf("empty String for %v", in.Op)
+		}
+	}
+	if !strings.Contains(Instr{Op: OpAtomCAS, Order: Acquire}.String(), "acquire") {
+		t.Error("atomic String missing order")
+	}
+}
+
+// TestEvalALUTotal: EvalALU never panics for any ALU-class op and any
+// operand values.
+func TestEvalALUTotal(t *testing.T) {
+	prop := func(a, b, d uint64, imm int64, opRaw uint8) bool {
+		op := Op(opRaw) % numOps
+		if op.Class() != ClassALU && op.Class() != ClassSFU {
+			return true
+		}
+		EvalALU(op, a, b, d, imm)
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

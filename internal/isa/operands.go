@@ -1,0 +1,41 @@
+package isa
+
+// ReadRegs appends to buf the registers the instruction reads and returns
+// the extended slice. Unused operand fields are not reported, so register 0
+// never produces false scoreboard hazards.
+func (i Instr) ReadRegs(buf []Reg) []Reg {
+	switch i.Op {
+	case OpNop, OpMovI, OpBar, OpExit, OpBr:
+		return buf
+	case OpMov, OpAddI, OpMulI, OpAndI, OpSFU:
+		return append(buf, i.Ra)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMin:
+		return append(buf, i.Ra, i.Rb)
+	case OpFMA:
+		return append(buf, i.Ra, i.Rb, i.Rd)
+	case OpLd, OpLdV, OpLdL, OpLdLV:
+		return append(buf, i.Ra)
+	case OpSt, OpStV, OpStL, OpStLV:
+		return append(buf, i.Ra, i.Rb)
+	case OpAtomCAS:
+		return append(buf, i.Ra, i.Rb, i.Rc)
+	case OpAtomExch, OpAtomAdd:
+		return append(buf, i.Ra, i.Rb)
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		return append(buf, i.Ra, i.Rb)
+	}
+	return buf
+}
+
+// WritesReg reports the destination register, if the instruction has one.
+func (i Instr) WritesReg() (Reg, bool) {
+	switch i.Op {
+	case OpMovI, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl,
+		OpShr, OpAddI, OpMulI, OpAndI, OpMin, OpFMA, OpSFU,
+		OpLd, OpLdV, OpLdL, OpLdLV:
+		return i.Rd, true
+	case OpAtomCAS, OpAtomExch, OpAtomAdd:
+		return i.Rd, !i.NoRet
+	}
+	return 0, false
+}

@@ -1,0 +1,76 @@
+package isa
+
+import "testing"
+
+func TestReadRegsPrecision(t *testing.T) {
+	// Unused operand fields must not be reported: register 0 is a real
+	// register, and phantom reads of it would create false scoreboard
+	// hazards.
+	tests := []struct {
+		in    Instr
+		reads []Reg
+	}{
+		{Instr{Op: OpNop}, nil},
+		{Instr{Op: OpMovI, Rd: 1, Imm: 5}, nil},
+		{Instr{Op: OpMov, Rd: 1, Ra: 2}, []Reg{2}},
+		{Instr{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, []Reg{2, 3}},
+		{Instr{Op: OpAddI, Rd: 1, Ra: 2}, []Reg{2}},
+		{Instr{Op: OpFMA, Rd: 1, Ra: 2, Rb: 3}, []Reg{2, 3, 1}},
+		{Instr{Op: OpSFU, Rd: 1, Ra: 2}, []Reg{2}},
+		{Instr{Op: OpLd, Rd: 1, Ra: 2}, []Reg{2}},
+		{Instr{Op: OpSt, Ra: 2, Rb: 1}, []Reg{2, 1}},
+		{Instr{Op: OpLdLV, Rd: 1, Ra: 2}, []Reg{2}},
+		{Instr{Op: OpAtomCAS, Rd: 1, Ra: 2, Rb: 3, Rc: 4}, []Reg{2, 3, 4}},
+		{Instr{Op: OpAtomExch, Rd: 1, Ra: 2, Rb: 3}, []Reg{2, 3}},
+		{Instr{Op: OpBr}, nil},
+		{Instr{Op: OpBEQ, Ra: 5, Rb: 6}, []Reg{5, 6}},
+		{Instr{Op: OpBar}, nil},
+		{Instr{Op: OpExit}, nil},
+	}
+	for _, tt := range tests {
+		got := tt.in.ReadRegs(nil)
+		if len(got) != len(tt.reads) {
+			t.Errorf("%s reads %v, want %v", tt.in.Op, got, tt.reads)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.reads[i] {
+				t.Errorf("%s reads %v, want %v", tt.in.Op, got, tt.reads)
+				break
+			}
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	tests := []struct {
+		in     Instr
+		wantRd Reg
+		writes bool
+	}{
+		{Instr{Op: OpMovI, Rd: 3}, 3, true},
+		{Instr{Op: OpLd, Rd: 4}, 4, true},
+		{Instr{Op: OpSt}, 0, false},
+		{Instr{Op: OpStLV}, 0, false},
+		{Instr{Op: OpAtomAdd, Rd: 5}, 5, true},
+		{Instr{Op: OpAtomAdd, Rd: 5, NoRet: true}, 0, false},
+		{Instr{Op: OpBr}, 0, false},
+		{Instr{Op: OpBar}, 0, false},
+		{Instr{Op: OpExit}, 0, false},
+	}
+	for _, tt := range tests {
+		rd, ok := tt.in.WritesReg()
+		if ok != tt.writes || (ok && rd != tt.wantRd) {
+			t.Errorf("%s WritesReg = (%d, %v), want (%d, %v)",
+				tt.in.Op, rd, ok, tt.wantRd, tt.writes)
+		}
+	}
+}
+
+func TestReadRegsAppendsToBuffer(t *testing.T) {
+	var buf [4]Reg
+	got := Instr{Op: OpAdd, Ra: 1, Rb: 2}.ReadRegs(buf[:0])
+	if &got[0] != &buf[0] {
+		t.Error("ReadRegs reallocated despite sufficient capacity")
+	}
+}

@@ -1,0 +1,143 @@
+package mem
+
+import "fmt"
+
+// Way is one way of a set-associative array.
+type Way struct {
+	Line    uint64 // line base address (tag+index combined; unambiguous)
+	State   LineState
+	Dirty   bool
+	Pinned  bool // pending store-buffer flush: not evictable
+	lastUse uint64
+}
+
+// Array is a set-associative cache tag array with LRU replacement. It
+// tracks presence and state only; data lives in the Backing store.
+type Array struct {
+	lineSize uint64
+	sets     [][]Way
+}
+
+// NewArray builds an array of the given total size in bytes.
+func NewArray(size, assoc, lineSize int) *Array {
+	nsets := size / (assoc * lineSize)
+	if nsets <= 0 {
+		panic(fmt.Sprintf("mem: array size %d too small for assoc %d line %d", size, assoc, lineSize))
+	}
+	sets := make([][]Way, nsets)
+	ways := make([]Way, nsets*assoc)
+	for i := range sets {
+		sets[i], ways = ways[:assoc:assoc], ways[assoc:]
+	}
+	return &Array{lineSize: uint64(lineSize), sets: sets}
+}
+
+// setIndex maps a line address to its set.
+func (a *Array) setIndex(line uint64) int {
+	return int((line / a.lineSize) % uint64(len(a.sets)))
+}
+
+// Lookup returns the way holding line, or nil. It refreshes LRU on hit.
+func (a *Array) Lookup(line uint64, cycle uint64) *Way {
+	set := a.sets[a.setIndex(line)]
+	for i := range set {
+		if set[i].State != LineInvalid && set[i].Line == line {
+			set[i].lastUse = cycle
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without the LRU refresh.
+func (a *Array) Peek(line uint64) *Way {
+	set := a.sets[a.setIndex(line)]
+	for i := range set {
+		if set[i].State != LineInvalid && set[i].Line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Install places line into its set, evicting the LRU non-pinned way if the
+// set is full. It returns the installed way and, when an eviction occurred,
+// the victim's pre-eviction copy. If every way is pinned, Install returns
+// (nil, Way{}, false) and the caller must retry later.
+func (a *Array) Install(line uint64, cycle uint64) (w *Way, victim Way, evicted bool) {
+	set := a.sets[a.setIndex(line)]
+	var free *Way
+	var lru *Way
+	for i := range set {
+		way := &set[i]
+		if way.State == LineInvalid {
+			if free == nil {
+				free = way
+			}
+			continue
+		}
+		if way.Line == line {
+			// Already present; treat as a refresh.
+			way.lastUse = cycle
+			return way, Way{}, false
+		}
+		if way.Pinned {
+			continue
+		}
+		if lru == nil || way.lastUse < lru.lastUse {
+			lru = way
+		}
+	}
+	target := free
+	if target == nil {
+		if lru == nil {
+			return nil, Way{}, false
+		}
+		victim = *lru
+		evicted = true
+		target = lru
+	}
+	*target = Way{Line: line, State: LineValid, lastUse: cycle}
+	return target, victim, evicted
+}
+
+// InvalidateWhere clears every way for which keep returns false.
+func (a *Array) InvalidateWhere(keep func(w *Way) bool) {
+	for s := range a.sets {
+		set := a.sets[s]
+		for i := range set {
+			if set[i].State == LineInvalid {
+				continue
+			}
+			if !keep(&set[i]) {
+				set[i] = Way{}
+			}
+		}
+	}
+}
+
+// Invalidate drops line if present, returning its prior copy.
+func (a *Array) Invalidate(line uint64) (Way, bool) {
+	set := a.sets[a.setIndex(line)]
+	for i := range set {
+		if set[i].State != LineInvalid && set[i].Line == line {
+			old := set[i]
+			set[i] = Way{}
+			return old, true
+		}
+	}
+	return Way{}, false
+}
+
+// Count returns the number of valid lines (tests and stats).
+func (a *Array) Count() int {
+	n := 0
+	for s := range a.sets {
+		for i := range a.sets[s] {
+			if a.sets[s][i].State != LineInvalid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package mem
+
+import "testing"
+
+// tiny array: 2 sets x 2 ways x 64-byte lines = 256 bytes.
+func tinyArray() *Array { return NewArray(256, 2, 64) }
+
+func TestArrayLookupInstall(t *testing.T) {
+	a := tinyArray()
+	if a.Lookup(0, 0) != nil {
+		t.Fatal("empty array hit")
+	}
+	w, _, evicted := a.Install(0, 1)
+	if w == nil || evicted {
+		t.Fatalf("install: w=%v evicted=%v", w, evicted)
+	}
+	if got := a.Lookup(0, 2); got == nil || got.Line != 0 {
+		t.Fatal("installed line not found")
+	}
+	if a.Count() != 1 {
+		t.Fatalf("count = %d", a.Count())
+	}
+}
+
+func TestArrayReinstallRefreshes(t *testing.T) {
+	a := tinyArray()
+	a.Install(0, 1)
+	w, _, evicted := a.Install(0, 2)
+	if evicted || w == nil {
+		t.Fatal("reinstall evicted or failed")
+	}
+	if a.Count() != 1 {
+		t.Fatalf("count = %d after reinstall", a.Count())
+	}
+}
+
+func TestArrayLRUEviction(t *testing.T) {
+	a := tinyArray()
+	// Lines 0, 128, 256 all map to set 0 (set = line/64 % 2).
+	a.Install(0, 1)
+	a.Install(128, 2)
+	a.Lookup(0, 3) // refresh line 0; line 128 becomes LRU
+	_, victim, evicted := a.Install(256, 4)
+	if !evicted || victim.Line != 128 {
+		t.Fatalf("victim = %+v evicted=%v, want line 128", victim, evicted)
+	}
+	if a.Lookup(0, 5) == nil || a.Lookup(256, 5) == nil {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestArrayPinnedNotEvicted(t *testing.T) {
+	a := tinyArray()
+	w0, _, _ := a.Install(0, 1)
+	w0.Pinned = true
+	w1, _, _ := a.Install(128, 2)
+	w1.Pinned = true
+	w, _, _ := a.Install(256, 3)
+	if w != nil {
+		t.Fatal("install succeeded with all ways pinned")
+	}
+	w1.Pinned = false
+	w, victim, evicted := a.Install(256, 4)
+	if w == nil || !evicted || victim.Line != 128 {
+		t.Fatalf("unpinned way not chosen: victim=%+v", victim)
+	}
+}
+
+func TestArrayInvalidateWhere(t *testing.T) {
+	a := tinyArray()
+	w, _, _ := a.Install(0, 1)
+	w.State = LineOwned
+	a.Install(64, 1)
+	a.Install(128, 1)
+	// Keep only owned lines (DeNovo acquire semantics).
+	a.InvalidateWhere(func(w *Way) bool { return w.State == LineOwned })
+	if a.Count() != 1 {
+		t.Fatalf("count = %d, want 1", a.Count())
+	}
+	if a.Peek(0) == nil {
+		t.Fatal("owned line invalidated")
+	}
+}
+
+func TestArrayInvalidateLine(t *testing.T) {
+	a := tinyArray()
+	a.Install(0, 1)
+	old, ok := a.Invalidate(0)
+	if !ok || old.Line != 0 {
+		t.Fatalf("invalidate = %+v, %v", old, ok)
+	}
+	if _, ok := a.Invalidate(0); ok {
+		t.Fatal("double invalidate reported a line")
+	}
+}
+
+func TestArrayGeometryPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewArray(64, 2, 64) // zero sets
+}

@@ -1,0 +1,61 @@
+// Package mem implements the timing model of the tightly coupled CPU-GPU
+// memory hierarchy: per-core L1 caches with MSHRs and write-combining store
+// buffers, a banked NUCA L2 with an ownership directory, and a bandwidth-
+// limited memory controller. Functional data lives in a single flat Backing
+// store (the standard timing/functional split): caches and protocols decide
+// *when* a value is available and *where* it was serviced, while values are
+// always read from and written to the backing store, which keeps workloads
+// functionally correct independent of timing bugs.
+package mem
+
+// Backing is the flat functional memory shared by every core: a map of
+// 8-byte-aligned addresses to 64-bit words. Reads of never-written words
+// return zero.
+type Backing struct {
+	words map[uint64]uint64
+}
+
+// NewBacking returns an empty functional memory.
+func NewBacking() *Backing {
+	return &Backing{words: make(map[uint64]uint64)}
+}
+
+// align8 masks addr down to an 8-byte boundary.
+func align8(addr uint64) uint64 { return addr &^ 7 }
+
+// Load64 returns the word at addr (aligned down to 8 bytes).
+func (b *Backing) Load64(addr uint64) uint64 { return b.words[align8(addr)] }
+
+// Store64 writes the word at addr (aligned down to 8 bytes).
+func (b *Backing) Store64(addr uint64, v uint64) { b.words[align8(addr)] = v }
+
+// Add64 adds delta to the word at addr and returns the previous value.
+func (b *Backing) Add64(addr uint64, delta uint64) uint64 {
+	a := align8(addr)
+	old := b.words[a]
+	b.words[a] = old + delta
+	return old
+}
+
+// CAS64 installs swap at addr if the current value equals cmp; it returns
+// the previous value either way.
+func (b *Backing) CAS64(addr uint64, cmp, swap uint64) uint64 {
+	a := align8(addr)
+	old := b.words[a]
+	if old == cmp {
+		b.words[a] = swap
+	}
+	return old
+}
+
+// Exch64 stores v at addr and returns the previous value.
+func (b *Backing) Exch64(addr uint64, v uint64) uint64 {
+	a := align8(addr)
+	old := b.words[a]
+	b.words[a] = v
+	return old
+}
+
+// Footprint returns the number of distinct words ever written; tests use it
+// to sanity-check workload initialization.
+func (b *Backing) Footprint() int { return len(b.words) }

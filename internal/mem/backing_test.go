@@ -1,0 +1,70 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBackingBasics(t *testing.T) {
+	b := NewBacking()
+	if b.Load64(0x100) != 0 {
+		t.Fatal("unwritten word not zero")
+	}
+	b.Store64(0x100, 42)
+	if b.Load64(0x100) != 42 {
+		t.Fatal("store/load roundtrip failed")
+	}
+	// Sub-word addresses alias the containing 8-byte word.
+	if b.Load64(0x103) != 42 {
+		t.Fatal("unaligned load did not alias the word")
+	}
+	b.Store64(0x107, 7)
+	if b.Load64(0x100) != 7 {
+		t.Fatal("unaligned store did not alias the word")
+	}
+	if b.Footprint() != 1 {
+		t.Fatalf("footprint = %d, want 1", b.Footprint())
+	}
+}
+
+func TestBackingAtomics(t *testing.T) {
+	b := NewBacking()
+	b.Store64(8, 10)
+	if old := b.Add64(8, 5); old != 10 || b.Load64(8) != 15 {
+		t.Fatalf("Add64: old=%d now=%d", old, b.Load64(8))
+	}
+	if old := b.CAS64(8, 99, 1); old != 15 || b.Load64(8) != 15 {
+		t.Fatalf("failed CAS mutated: old=%d now=%d", old, b.Load64(8))
+	}
+	if old := b.CAS64(8, 15, 1); old != 15 || b.Load64(8) != 1 {
+		t.Fatalf("successful CAS: old=%d now=%d", old, b.Load64(8))
+	}
+	if old := b.Exch64(8, 77); old != 1 || b.Load64(8) != 77 {
+		t.Fatalf("Exch64: old=%d now=%d", old, b.Load64(8))
+	}
+}
+
+// TestBackingAtomicProperties: CAS succeeds exactly when cmp matches, Add
+// is a fetch-add, and distinct words never interfere.
+func TestBackingAtomicProperties(t *testing.T) {
+	prop := func(addr1, addr2, v1, v2, delta uint64) bool {
+		addr1, addr2 = addr1&^7, addr2&^7
+		if addr1 == addr2 {
+			return true
+		}
+		b := NewBacking()
+		b.Store64(addr1, v1)
+		b.Store64(addr2, v2)
+		if got := b.Add64(addr1, delta); got != v1 {
+			return false
+		}
+		if b.Load64(addr1) != v1+delta || b.Load64(addr2) != v2 {
+			return false
+		}
+		old := b.CAS64(addr2, v2, delta)
+		return old == v2 && b.Load64(addr2) == delta
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

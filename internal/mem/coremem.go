@@ -1,0 +1,575 @@
+package mem
+
+import (
+	"fmt"
+
+	"gsi/internal/core"
+	"gsi/internal/isa"
+	"gsi/internal/noc"
+)
+
+// TargetKind says which unit a line fill belongs to; the SM-side client
+// dispatches completions on it.
+type TargetKind uint8
+
+const (
+	// TargetLoad fills a warp load instruction (identified by LoadID);
+	// stash fills ride on warp loads with NoL1 set.
+	TargetLoad TargetKind = iota
+	// TargetDMAFill fills one line of a bulk DMA transfer.
+	TargetDMAFill
+)
+
+// Target identifies one requested line fill.
+type Target struct {
+	Kind TargetKind
+	Load core.LoadID // TargetLoad
+	Aux  uint64      // the global line (stash/DMA routing)
+	// NoL1 suppresses installing the fill into the L1 array: DMA and
+	// stash transfers bypass the cache ("without polluting the L1
+	// cache", D2MA; stash fills load directly into the stash).
+	NoL1 bool
+}
+
+// LoadOutcome is the immediate result of CoreMem.Load.
+type LoadOutcome uint8
+
+const (
+	// LoadHit: the line is in the L1; the caller completes the access
+	// with core.WhereL1 at hit latency.
+	LoadHit LoadOutcome = iota
+	// LoadMiss: an MSHR was allocated and a request sent.
+	LoadMiss
+	// LoadMerged: an in-flight MSHR entry absorbed the request; the
+	// target completes as core.WhereL1Coalescing.
+	LoadMerged
+	// LoadMSHRFull: no MSHR free; retry later (memory structural stall,
+	// cause full MSHR).
+	LoadMSHRFull
+)
+
+// StoreOutcome is the immediate result of CoreMem.Store.
+type StoreOutcome uint8
+
+const (
+	// StoreOK: the store entered the write-combining buffer (or merged).
+	StoreOK StoreOutcome = iota
+	// StoreSBFull: the buffer is full (a flush has been triggered);
+	// retry later (memory structural stall, cause full store buffer).
+	StoreSBFull
+	// StoreBlockedRelease: a release flush is in progress; retry later
+	// (memory structural stall, cause pending release).
+	StoreBlockedRelease
+)
+
+// AtomicOp is a warp atomic handed to CoreMem for protocol sequencing.
+type AtomicOp struct {
+	Warp  int
+	Rd    isa.Reg // destination for the old value (unused when NoRet)
+	Addr  uint64
+	AOp   isa.Op
+	B, C  uint64
+	Order isa.Order
+	// NoRet marks a fire-and-forget atomic: the issuing warp did not
+	// block, so completion only decrements the in-flight count.
+	NoRet bool
+}
+
+// CoreMemStats counts per-core memory events.
+type CoreMemStats struct {
+	Hits, Misses, Merges    uint64
+	MSHRFullEvents          uint64
+	SBFullEvents            uint64
+	Flushes, ReleaseFlushes uint64
+	FlushNoops              uint64 // lines already owned: free release work
+	WriteThroughs, OwnReqs  uint64
+	RemoteServed            uint64 // FwdReads answered from this L1
+	Evictions, OwnedEvicts  uint64
+	Atomics                 uint64
+	LocalAtomics            uint64 // owned atomics served at this L1
+}
+
+// CoreMem is one core's private memory-side unit: the L1 array, MSHRs, the
+// write-combining store buffer, flush and release sequencing, and the
+// core's side of the coherence protocol. The SM's load/store unit calls
+// Load/Store/Atomic during its tick; completions come back through the
+// OnLoadDone / OnAtomicDone callbacks during the mesh/CoreMem ticks.
+type CoreMem struct {
+	coreID   int
+	tile     int
+	lineSize uint64
+	policy   Policy
+	array    *Array
+	backing  *Backing
+
+	mshr    map[uint64]*mshrEntry
+	mshrCap int
+
+	sb    []uint64            // FIFO of dirty lines awaiting flush
+	sbSet map[uint64]struct{} // membership for write combining
+	sbCap int
+
+	flushing     bool
+	flushRelease bool
+	flushQ       []uint64
+	acksWanted   map[uint64]struct{}
+
+	releaseQ        []AtomicOp // atomics waiting for a release flush
+	inflightAtomics int
+
+	// SFIFO enables the QuickRelease-style ablation (paper section
+	// 6.1.4): stores and loads keep issuing during a release flush.
+	SFIFO bool
+	// OwnedAtomics enables the Sinclair et al. optimization the paper's
+	// section 6.1.4 suggests: atomics register ownership of their line,
+	// and atomics to a locally owned line execute at the L1 instead of
+	// making the L2 round trip. Requires an ownership protocol.
+	OwnedAtomics bool
+
+	localAtomics []localAtomic
+
+	out      outbox
+	bankTile func(line uint64) int
+	coreTile func(core int) int
+	cycle    uint64
+
+	// OnLoadDone fires once per completed fill target.
+	OnLoadDone func(t Target, where core.DataWhere)
+	// OnAtomicDone fires when an atomic's old value returns; the op is
+	// echoed so the core can route the value (or ignore it for NoRet).
+	OnAtomicDone func(op AtomicOp, old uint64)
+	// OnWriteAck fires for every WriteAck delivered to this core; the
+	// DMA engine uses it to track bulk write-back completion (lines it
+	// did not send are simply not in its outstanding set).
+	OnWriteAck func(line uint64)
+
+	Stats CoreMemStats
+}
+
+type mshrEntry struct {
+	primary     Target
+	secondaries []Target
+}
+
+// CoreMemConfig collects construction parameters.
+type CoreMemConfig struct {
+	CoreID   int
+	Tile     int
+	LineSize int
+	L1Size   int
+	L1Assoc  int
+	MSHRCap  int
+	SBCap    int
+	Policy   Policy
+	Backing  *Backing
+	Mesh     *noc.Mesh
+	BankTile func(line uint64) int
+	CoreTile func(core int) int
+}
+
+// NewCoreMem builds the unit.
+func NewCoreMem(cfg CoreMemConfig) *CoreMem {
+	return &CoreMem{
+		coreID:     cfg.CoreID,
+		tile:       cfg.Tile,
+		lineSize:   uint64(cfg.LineSize),
+		policy:     cfg.Policy,
+		array:      NewArray(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+		backing:    cfg.Backing,
+		mshr:       make(map[uint64]*mshrEntry),
+		mshrCap:    cfg.MSHRCap,
+		sbSet:      make(map[uint64]struct{}),
+		sbCap:      cfg.SBCap,
+		acksWanted: make(map[uint64]struct{}),
+		out:        outbox{mesh: cfg.Mesh, from: cfg.Tile},
+		bankTile:   cfg.BankTile,
+		coreTile:   cfg.CoreTile,
+	}
+}
+
+// Line returns addr's line base address.
+func (c *CoreMem) Line(addr uint64) uint64 { return addr &^ (c.lineSize - 1) }
+
+// Policy returns the active coherence policy.
+func (c *CoreMem) Policy() Policy { return c.policy }
+
+// MSHRFree reports the number of free MSHR entries (the DMA engine
+// throttles on this).
+func (c *CoreMem) MSHRFree() int { return c.mshrCap - len(c.mshr) }
+
+// ReleaseInProgress reports whether a release flush is draining; the LSU
+// blocks memory issue with cause pending-release while true (unless SFIFO).
+func (c *CoreMem) ReleaseInProgress() bool { return c.flushing && c.flushRelease }
+
+// Flushing reports any flush in progress.
+func (c *CoreMem) Flushing() bool { return c.flushing }
+
+// Load requests the line containing addr on behalf of target.
+func (c *CoreMem) Load(addr uint64, t Target) LoadOutcome {
+	line := c.Line(addr)
+	if c.array.Lookup(line, c.cycle) != nil {
+		c.Stats.Hits++
+		return LoadHit
+	}
+	if e, ok := c.mshr[line]; ok {
+		c.Stats.Merges++
+		e.secondaries = append(e.secondaries, t)
+		return LoadMerged
+	}
+	if len(c.mshr) >= c.mshrCap {
+		c.Stats.MSHRFullEvents++
+		return LoadMSHRFull
+	}
+	c.Stats.Misses++
+	c.mshr[line] = &mshrEntry{primary: t}
+	c.out.send(c.cycle+1, c.bankTile(line), noc.PortL2,
+		ReadReq{Line: line, Requestor: c.coreID})
+	return LoadMiss
+}
+
+// Store enters addr's line into the write-combining store buffer. The
+// caller writes the value to the backing store itself (stores are
+// non-blocking). A full buffer triggers an automatic flush, per the paper:
+// the buffer "is flushed when it becomes full, at the end of a kernel, and
+// on a release operation".
+func (c *CoreMem) Store(addr uint64) StoreOutcome { return c.store(addr, true) }
+
+// StoreNoL1 is Store for stash writes: the dirty data lives in the stash,
+// so the store buffer tracks the line for flushing (ownership registration
+// under DeNovo) without installing it in the L1.
+func (c *CoreMem) StoreNoL1(addr uint64) StoreOutcome { return c.store(addr, false) }
+
+func (c *CoreMem) store(addr uint64, installL1 bool) StoreOutcome {
+	if c.flushing {
+		if c.flushRelease && !c.SFIFO {
+			return StoreBlockedRelease
+		}
+		if !c.SFIFO {
+			// Whole-buffer flush events: stores wait for the drain.
+			return StoreSBFull
+		}
+		// SFIFO: stores may enter fresh entries during a flush, but
+		// lines with an in-flight flush cannot merge.
+		line := c.Line(addr)
+		if _, inflight := c.acksWanted[line]; inflight {
+			return StoreSBFull
+		}
+	}
+	line := c.Line(addr)
+	if _, ok := c.sbSet[line]; ok {
+		// Write combining: the pending entry absorbs the store.
+		if installL1 {
+			c.markDirty(line)
+		}
+		return StoreOK
+	}
+	if len(c.sb) >= c.sbCap {
+		c.Stats.SBFullEvents++
+		c.startFlush(false)
+		return StoreSBFull
+	}
+	if installL1 && !c.markDirty(line) {
+		// Could not install (every way pinned): treat as buffer
+		// pressure and drain.
+		c.Stats.SBFullEvents++
+		c.startFlush(false)
+		return StoreSBFull
+	}
+	c.sb = append(c.sb, line)
+	c.sbSet[line] = struct{}{}
+	return StoreOK
+}
+
+// markDirty installs (write-allocate, no fetch) and pins the line. It
+// reports false if no way could be claimed.
+func (c *CoreMem) markDirty(line uint64) bool {
+	w := c.array.Lookup(line, c.cycle)
+	if w == nil {
+		var victim Way
+		var evicted bool
+		w, victim, evicted = c.array.Install(line, c.cycle)
+		if w == nil {
+			return false
+		}
+		if evicted {
+			c.evict(victim)
+		}
+	}
+	w.Dirty = true
+	w.Pinned = true
+	return true
+}
+
+// evict handles a victim pushed out by Install: owned lines return to the
+// L2 (data + deregistration).
+func (c *CoreMem) evict(victim Way) {
+	c.Stats.Evictions++
+	if victim.State == LineOwned {
+		c.Stats.OwnedEvicts++
+		c.out.send(c.cycle+1, c.bankTile(victim.Line), noc.PortL2,
+			WbOwned{Line: victim.Line, Requestor: c.coreID})
+	}
+}
+
+// Atomic sequences a warp atomic: release-ordered atomics wait behind a
+// store buffer flush; others go straight to the home bank. The warp is
+// expected to block (synchronization stall) until OnAtomicDone fires.
+func (c *CoreMem) Atomic(op AtomicOp) {
+	c.Stats.Atomics++
+	if op.Order.IsRelease() {
+		c.releaseQ = append(c.releaseQ, op)
+		c.startFlush(true)
+		return
+	}
+	c.sendAtomic(op)
+}
+
+// localAtomic is an owned-atomic executing at the L1 (short fixed latency).
+type localAtomic struct {
+	at  uint64
+	op  AtomicOp
+	old uint64
+}
+
+// localAtomicLat is the L1-side atomic latency (tag check + RMW).
+const localAtomicLat = 3
+
+func (c *CoreMem) sendAtomic(op AtomicOp) {
+	c.inflightAtomics++
+	ownedMode := c.OwnedAtomics && c.policy.UsesOwnership()
+	if ownedMode {
+		if w := c.array.Peek(c.Line(op.Addr)); w != nil && w.State == LineOwned {
+			// The line is registered here: execute at the L1. The
+			// RMW is the linearization point; losing ownership later
+			// cannot reorder it because the backing operation is
+			// already done.
+			c.Stats.LocalAtomics++
+			old := ExecRMW(c.backing, op.AOp, op.Addr, op.B, op.C)
+			c.localAtomics = append(c.localAtomics, localAtomic{
+				at: c.cycle + localAtomicLat, op: op, old: old,
+			})
+			return
+		}
+	}
+	c.out.send(c.cycle+1, c.bankTile(c.Line(op.Addr)), noc.PortL2, AtomicReq{
+		Addr: op.Addr, AOp: op.AOp, B: op.B, C: op.C,
+		Requestor: c.coreID, Op: op, TakeOwnership: ownedMode,
+	})
+}
+
+// SelfInvalidate applies acquire semantics: every line the policy does not
+// keep is dropped. Called on acquire-atomic completion and at kernel
+// launch.
+func (c *CoreMem) SelfInvalidate() {
+	c.array.InvalidateWhere(func(w *Way) bool {
+		return w.Pinned || c.policy.KeepOnAcquire(w.State, w.Dirty)
+	})
+}
+
+// FlushAll starts a kernel-end flush (release semantics, no atomic).
+func (c *CoreMem) FlushAll() { c.startFlush(true) }
+
+func (c *CoreMem) startFlush(release bool) {
+	if c.flushing {
+		if release {
+			c.flushRelease = true
+		}
+		return
+	}
+	c.Stats.Flushes++
+	if release {
+		c.Stats.ReleaseFlushes++
+	}
+	c.flushing = true
+	c.flushRelease = release
+	c.flushQ = append(c.flushQ[:0], c.sb...)
+}
+
+// Tick drains one flush line per cycle, dispatches release atomics once
+// their flush has completed, and sends due messages.
+func (c *CoreMem) Tick(cycle uint64) {
+	c.cycle = cycle
+	if c.flushing && len(c.flushQ) > 0 {
+		line := c.flushQ[0]
+		c.flushQ = c.flushQ[1:]
+		c.flushLine(line)
+	}
+	if c.flushing && len(c.flushQ) == 0 && len(c.acksWanted) == 0 {
+		c.flushing = false
+		c.flushRelease = false
+	}
+	if !c.flushing && len(c.releaseQ) > 0 {
+		op := c.releaseQ[0]
+		c.releaseQ = c.releaseQ[1:]
+		c.sendAtomic(op)
+	}
+	if len(c.localAtomics) > 0 {
+		n := 0
+		for _, la := range c.localAtomics {
+			if la.at > cycle {
+				c.localAtomics[n] = la
+				n++
+				continue
+			}
+			c.inflightAtomics--
+			if la.op.Order.IsAcquire() {
+				c.SelfInvalidate()
+			}
+			if c.OnAtomicDone != nil {
+				c.OnAtomicDone(la.op, la.old)
+			}
+		}
+		c.localAtomics = c.localAtomics[:n]
+	}
+	c.out.tick(cycle)
+}
+
+func (c *CoreMem) flushLine(line uint64) {
+	w := c.array.Peek(line)
+	state := LineValid
+	if w != nil {
+		state = w.State
+	}
+	switch c.policy.FlushLine(state) {
+	case FlushNone:
+		// Already owned: a release has nothing to do (DeNovo).
+		c.Stats.FlushNoops++
+		c.completeFlush(line)
+	case FlushWriteThrough:
+		c.Stats.WriteThroughs++
+		c.acksWanted[line] = struct{}{}
+		c.out.send(c.cycle+1, c.bankTile(line), noc.PortL2,
+			WriteThrough{Line: line, Requestor: c.coreID})
+	case FlushOwnReq:
+		c.Stats.OwnReqs++
+		c.acksWanted[line] = struct{}{}
+		c.out.send(c.cycle+1, c.bankTile(line), noc.PortL2,
+			OwnReq{Line: line, Requestor: c.coreID})
+	}
+}
+
+// completeFlush retires one store buffer entry.
+func (c *CoreMem) completeFlush(line uint64) {
+	delete(c.acksWanted, line)
+	if _, ok := c.sbSet[line]; ok {
+		delete(c.sbSet, line)
+		for i, l := range c.sb {
+			if l == line {
+				c.sb = append(c.sb[:i], c.sb[i+1:]...)
+				break
+			}
+		}
+	}
+	if w := c.array.Peek(line); w != nil {
+		w.Dirty = false
+		w.Pinned = false
+	}
+}
+
+// Deliver handles a mesh message addressed to this core.
+func (c *CoreMem) Deliver(payload any) {
+	switch msg := payload.(type) {
+	case ReadResp:
+		c.fill(msg.Line, msg.Where)
+	case WriteAck:
+		c.completeFlush(msg.Line)
+		if c.OnWriteAck != nil {
+			c.OnWriteAck(msg.Line)
+		}
+	case OwnAck:
+		if w := c.array.Peek(msg.Line); w != nil {
+			w.State = LineOwned
+		}
+		c.completeFlush(msg.Line)
+	case FwdRead:
+		// Serve a remote reader from this L1 (DeNovo): respond
+		// directly to the requestor. Answer even if the line has been
+		// evicted in the meantime (the WbOwned is racing to the L2;
+		// data is functionally in the backing store).
+		c.Stats.RemoteServed++
+		c.out.send(c.cycle+2, c.coreTile(msg.Requestor), noc.PortCore,
+			ReadResp{Line: msg.Line, Where: core.WhereRemoteL1})
+	case OwnTransfer:
+		// Lost ownership to another core (the directory already acked
+		// the new owner). Drop the line; if it had an unflushed entry
+		// (a data race under DRF, but stay robust) retire the entry so
+		// the flush cannot deadlock.
+		if w := c.array.Peek(msg.Line); w != nil {
+			c.array.Invalidate(msg.Line)
+		}
+		c.completeFlush(msg.Line)
+	case AtomicResp:
+		c.inflightAtomics--
+		if msg.Granted {
+			// Owned atomics: the bank registered us; install the
+			// line owned so the next atomic runs locally. If no way
+			// can be claimed, give the registration straight back
+			// rather than leaving a dangling directory entry.
+			if w, victim, evicted := c.array.Install(c.Line(msg.Addr), c.cycle); w != nil {
+				if evicted {
+					c.evict(victim)
+				}
+				w.State = LineOwned
+			} else {
+				c.out.send(c.cycle+1, c.bankTile(c.Line(msg.Addr)), noc.PortL2,
+					WbOwned{Line: c.Line(msg.Addr), Requestor: c.coreID})
+			}
+		}
+		if msg.Op.Order.IsAcquire() {
+			c.SelfInvalidate()
+		}
+		if c.OnAtomicDone != nil {
+			c.OnAtomicDone(msg.Op, msg.Old)
+		}
+	default:
+		panic(fmt.Sprintf("mem: core %d: unexpected message %T", c.coreID, payload))
+	}
+}
+
+// fill completes an MSHR entry: install the line and finish every target.
+// The primary target is charged where the response was serviced; merged
+// secondaries are charged L1-coalescing per the paper's definition.
+func (c *CoreMem) fill(line uint64, where core.DataWhere) {
+	e, ok := c.mshr[line]
+	if !ok {
+		// A fill for a line we no longer track (e.g. a FwdRead answer
+		// arriving after invalidation): nothing to complete.
+		return
+	}
+	delete(c.mshr, line)
+	install := !e.primary.NoL1
+	for _, t := range e.secondaries {
+		if !t.NoL1 {
+			install = true
+		}
+	}
+	if install {
+		if _, victim, evicted := c.array.Install(line, c.cycle); evicted {
+			c.evict(victim)
+		}
+	}
+	if c.OnLoadDone != nil {
+		c.OnLoadDone(e.primary, where)
+		for _, t := range e.secondaries {
+			c.OnLoadDone(t, core.WhereL1Coalescing)
+		}
+	}
+}
+
+// Quiesced reports that no miss, flush, atomic, or outbound message is in
+// flight.
+func (c *CoreMem) Quiesced() bool {
+	return len(c.mshr) == 0 && !c.flushing && len(c.sb) == 0 &&
+		len(c.releaseQ) == 0 && c.inflightAtomics == 0 && c.out.pending() == 0
+}
+
+// SBLen reports current store buffer occupancy (tests).
+func (c *CoreMem) SBLen() int { return len(c.sb) }
+
+// LineStateOf reports the L1 state of addr's line (tests).
+func (c *CoreMem) LineStateOf(addr uint64) LineState {
+	if w := c.array.Peek(c.Line(addr)); w != nil {
+		return w.State
+	}
+	return LineInvalid
+}

@@ -1,0 +1,70 @@
+package mem
+
+// MemCtrl models main memory: a single controller with fixed access latency
+// and a cycles-per-request bandwidth limit. L2 banks enqueue fill requests
+// and receive a callback when the data is available.
+type MemCtrl struct {
+	latency   uint64
+	perReq    uint64 // minimum cycles between request starts
+	nextStart uint64 // earliest cycle the next request may start service
+
+	queue    []memReq
+	inflight []memReq // served, waiting for latency to elapse
+
+	// Stats.
+	Requests uint64
+	MaxQueue int
+}
+
+type memReq struct {
+	line    uint64
+	readyAt uint64
+	done    func(line uint64)
+}
+
+// NewMemCtrl builds a controller with the given access latency and
+// bandwidth (one request per perReq cycles).
+func NewMemCtrl(latency, perReq int) *MemCtrl {
+	if perReq < 1 {
+		perReq = 1
+	}
+	return &MemCtrl{latency: uint64(latency), perReq: uint64(perReq)}
+}
+
+// Request enqueues a line fill; done fires when the line arrives, during a
+// MemCtrl tick at least latency cycles later.
+func (m *MemCtrl) Request(line uint64, done func(line uint64)) {
+	m.Requests++
+	m.queue = append(m.queue, memReq{line: line, done: done})
+	if len(m.queue) > m.MaxQueue {
+		m.MaxQueue = len(m.queue)
+	}
+}
+
+// Tick starts at most one queued request per perReq cycles and completes
+// any in-flight requests whose latency has elapsed.
+func (m *MemCtrl) Tick(cycle uint64) {
+	// Complete in order; inflight is sorted by readyAt because service
+	// starts are monotonic.
+	n := 0
+	for _, r := range m.inflight {
+		if r.readyAt <= cycle {
+			r.done(r.line)
+		} else {
+			m.inflight[n] = r
+			n++
+		}
+	}
+	m.inflight = m.inflight[:n]
+
+	if len(m.queue) > 0 && cycle >= m.nextStart {
+		r := m.queue[0]
+		m.queue = m.queue[1:]
+		r.readyAt = cycle + m.latency
+		m.inflight = append(m.inflight, r)
+		m.nextStart = cycle + m.perReq
+	}
+}
+
+// Pending reports queued plus in-flight requests (for quiescence checks).
+func (m *MemCtrl) Pending() int { return len(m.queue) + len(m.inflight) }

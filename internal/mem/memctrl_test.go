@@ -1,0 +1,63 @@
+package mem
+
+import "testing"
+
+func TestMemCtrlLatency(t *testing.T) {
+	mc := NewMemCtrl(10, 1)
+	var doneAt uint64 = 0
+	var fired bool
+	mc.Request(0x40, func(line uint64) { fired = true })
+	for c := uint64(0); c < 20 && !fired; c++ {
+		mc.Tick(c)
+		doneAt = c
+	}
+	if !fired {
+		t.Fatal("request never completed")
+	}
+	if doneAt < 10 {
+		t.Fatalf("completed at %d, want >= 10", doneAt)
+	}
+	if mc.Pending() != 0 {
+		t.Fatalf("pending = %d", mc.Pending())
+	}
+}
+
+func TestMemCtrlBandwidth(t *testing.T) {
+	// perReq=4: service starts are at least 4 cycles apart, so the
+	// completions of back-to-back requests are too.
+	mc := NewMemCtrl(10, 4)
+	var times []uint64
+	for i := 0; i < 4; i++ {
+		mc.Request(uint64(i*64), func(line uint64) {})
+	}
+	for c := uint64(0); c < 100 && mc.Pending() > 0; c++ {
+		before := mc.Pending()
+		mc.Tick(c)
+		for i := 0; i < before-mc.Pending(); i++ {
+			times = append(times, c)
+		}
+	}
+	if len(times) != 4 {
+		t.Fatalf("completions = %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < 4 {
+			t.Fatalf("completions %d apart, want >= 4: %v", times[i]-times[i-1], times)
+		}
+	}
+	if mc.Requests != 4 || mc.MaxQueue < 3 {
+		t.Fatalf("stats: requests=%d maxqueue=%d", mc.Requests, mc.MaxQueue)
+	}
+}
+
+func TestMemCtrlZeroBandwidthClamped(t *testing.T) {
+	mc := NewMemCtrl(1, 0)
+	fired := false
+	mc.Request(0, func(uint64) { fired = true })
+	for c := uint64(0); c < 10; c++ {
+		mc.Tick(c)
+	}
+	if !fired {
+		t.Fatal("clamped controller never completed")
+	}
+}

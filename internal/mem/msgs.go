@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"gsi/internal/core"
+	"gsi/internal/isa"
+)
+
+// Message payloads exchanged over the mesh. Requests travel to an L2 bank
+// (noc.PortL2); responses and forwards travel to a core (noc.PortCore).
+
+// ReadReq asks the home L2 bank for a line. The bank either answers from
+// its array, fetches from memory, or — when the line is owned by a remote
+// L1 under DeNovo — forwards the request to the owner.
+type ReadReq struct {
+	Line      uint64
+	Requestor int // core id
+}
+
+// ReadResp delivers a line to the requesting core. Where records the
+// service point for GSI's memory data stall sub-classification.
+type ReadResp struct {
+	Line  uint64
+	Where core.DataWhere
+}
+
+// WriteThrough carries a dirty line's data to the L2 (GPU coherence store
+// buffer flush). The bank acknowledges with WriteAck.
+type WriteThrough struct {
+	Line      uint64
+	Requestor int
+}
+
+// WriteAck confirms a WriteThrough has been applied at the L2.
+type WriteAck struct {
+	Line uint64
+}
+
+// OwnReq registers the requesting core as owner of a line (DeNovo store
+// buffer flush). The bank answers OwnAck directly if the line is unowned;
+// otherwise it updates the directory and sends OwnTransfer to the previous
+// owner, which forwards OwnAck to the new owner (three-hop transfer).
+type OwnReq struct {
+	Line      uint64
+	Requestor int
+}
+
+// OwnAck confirms ownership registration to the new owner.
+type OwnAck struct {
+	Line uint64
+}
+
+// OwnTransfer tells the previous owner it has lost a line; it invalidates
+// locally and forwards OwnAck to NewOwner.
+type OwnTransfer struct {
+	Line     uint64
+	NewOwner int
+}
+
+// FwdRead is sent by the L2 to a line's owner; the owner responds to
+// Requestor directly with ReadResp{Where: WhereRemoteL1}.
+type FwdRead struct {
+	Line      uint64
+	Requestor int
+}
+
+// WbOwned returns an owned line to the L2 on eviction: the bank installs
+// the data and clears the directory entry. Fire-and-forget.
+type WbOwned struct {
+	Line      uint64
+	Requestor int
+}
+
+// AtomicReq executes a read-modify-write at the home L2 bank (the
+// simulated system performs all atomics at L2). Release ordering is
+// enforced at the core before the request is sent; acquire ordering is
+// applied at the core when the response arrives. Op is echoed back in the
+// response so the core can route the old value.
+type AtomicReq struct {
+	Addr      uint64
+	AOp       isa.Op // OpAtomCAS, OpAtomExch, OpAtomAdd
+	B, C      uint64 // operands
+	Requestor int
+	Op        AtomicOp
+	// TakeOwnership asks the bank to register the requestor as the
+	// line's owner after executing, so the requestor's subsequent
+	// atomics run locally (the owned-atomics optimization of Sinclair
+	// et al., suggested in the paper's section 6.1.4).
+	TakeOwnership bool
+}
+
+// AtomicResp returns the old value to the issuing warp. Granted reports
+// that the bank registered the requestor as the line's owner.
+type AtomicResp struct {
+	Addr    uint64
+	Old     uint64
+	Op      AtomicOp
+	Granted bool
+}

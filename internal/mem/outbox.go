@@ -1,0 +1,38 @@
+package mem
+
+import "gsi/internal/noc"
+
+// outbox defers mesh sends until a component's access latency has elapsed,
+// preserving injection order among messages that become due the same cycle.
+type outbox struct {
+	mesh *noc.Mesh
+	from int // tile index
+	q    []outMsg
+}
+
+type outMsg struct {
+	at      uint64
+	dst     int
+	port    noc.Port
+	payload any
+}
+
+func (o *outbox) send(at uint64, dst int, port noc.Port, payload any) {
+	o.q = append(o.q, outMsg{at: at, dst: dst, port: port, payload: payload})
+}
+
+// tick injects every due message into the mesh.
+func (o *outbox) tick(cycle uint64) {
+	n := 0
+	for _, m := range o.q {
+		if m.at <= cycle {
+			o.mesh.Send(o.from, m.dst, m.port, m.payload)
+		} else {
+			o.q[n] = m
+			n++
+		}
+	}
+	o.q = o.q[:n]
+}
+
+func (o *outbox) pending() int { return len(o.q) }

@@ -1,0 +1,123 @@
+package mem_test
+
+import (
+	"testing"
+
+	"gsi/internal/coherence"
+	"gsi/internal/isa"
+	"gsi/internal/mem"
+)
+
+const atomAddr = uint64(0x6_0000)
+
+func TestOwnedAtomicsLocalFastPath(t *testing.T) {
+	h := newHarness(t, coherence.DeNovo{})
+	cm := h.sys.Cores[0]
+	cm.OwnedAtomics = true
+
+	// First atomic: L2 round trip, but it registers ownership.
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	h.quiesce()
+	if len(h.atoms) != 1 {
+		t.Fatalf("completions = %d", len(h.atoms))
+	}
+	if cm.LineStateOf(atomAddr) != mem.LineOwned {
+		t.Fatal("first atomic did not register ownership")
+	}
+	bank := h.sys.Banks[h.sys.BankTile(atomAddr)]
+	if owner, ok := bank.Owner(atomAddr &^ 63); !ok || owner != 0 {
+		t.Fatalf("directory owner = %d, %v", owner, ok)
+	}
+
+	// Second atomic: served at the L1, no bank traffic.
+	banksBefore := bank.Atomics
+	startCycle := h.eng.Cycle()
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	h.quiesce()
+	if len(h.atoms) != 2 {
+		t.Fatalf("completions = %d", len(h.atoms))
+	}
+	if bank.Atomics != banksBefore {
+		t.Fatal("locally owned atomic still went to the L2")
+	}
+	if cm.Stats.LocalAtomics != 1 {
+		t.Fatalf("LocalAtomics = %d", cm.Stats.LocalAtomics)
+	}
+	if lat := h.eng.Cycle() - startCycle; lat > 10 {
+		t.Errorf("local atomic took %d cycles", lat)
+	}
+	if h.sys.Backing.Load64(atomAddr) != 2 {
+		t.Fatalf("value = %d, want 2", h.sys.Backing.Load64(atomAddr))
+	}
+}
+
+func TestOwnedAtomicsOwnershipMigrates(t *testing.T) {
+	h := newHarness(t, coherence.DeNovo{})
+	a, b := h.sys.Cores[0], h.sys.Cores[1]
+	a.OwnedAtomics = true
+	b.OwnedAtomics = true
+
+	a.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	h.quiesce()
+	// B's atomic steals the registration; A loses the line.
+	b.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	h.quiesce()
+	if a.LineStateOf(atomAddr) != mem.LineInvalid {
+		t.Fatal("previous atomic owner kept the line")
+	}
+	if b.LineStateOf(atomAddr) != mem.LineOwned {
+		t.Fatal("new atomic owner not registered locally")
+	}
+	bank := h.sys.Banks[h.sys.BankTile(atomAddr)]
+	if owner, _ := bank.Owner(atomAddr &^ 63); owner != 1 {
+		t.Fatalf("directory owner = %d, want 1", owner)
+	}
+	if h.sys.Backing.Load64(atomAddr) != 2 {
+		t.Fatalf("value = %d, want 2 (lost update)", h.sys.Backing.Load64(atomAddr))
+	}
+	// A's next atomic goes remote again and steals back.
+	a.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	h.quiesce()
+	if h.sys.Backing.Load64(atomAddr) != 3 {
+		t.Fatalf("value = %d, want 3", h.sys.Backing.Load64(atomAddr))
+	}
+	if a.LineStateOf(atomAddr) != mem.LineOwned || b.LineStateOf(atomAddr) != mem.LineInvalid {
+		t.Fatal("ownership did not migrate back")
+	}
+}
+
+func TestOwnedAtomicsAcquireKeepsOwnedLine(t *testing.T) {
+	h := newHarness(t, coherence.DeNovo{})
+	cm := h.sys.Cores[0]
+	cm.OwnedAtomics = true
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomCAS, B: 0, C: 1, Order: isa.Acquire})
+	h.quiesce()
+	// The acquire's self-invalidation must not drop the just-granted
+	// owned line (that is the point of the optimization: the lock line
+	// survives for the next local acquire).
+	if cm.LineStateOf(atomAddr) != mem.LineOwned {
+		t.Fatal("acquire invalidated the granted line")
+	}
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomExch, B: 0, Order: isa.Acquire})
+	h.quiesce()
+	if cm.Stats.LocalAtomics != 1 {
+		t.Fatalf("repeat acquire not local: LocalAtomics = %d", cm.Stats.LocalAtomics)
+	}
+}
+
+func TestOwnedAtomicsNoEffectUnderGPUCoherence(t *testing.T) {
+	// GPU coherence has no ownership: the option must degrade to plain
+	// L2 atomics rather than corrupting state.
+	h := newHarness(t, coherence.GPUCoherence{})
+	cm := h.sys.Cores[0]
+	cm.OwnedAtomics = true
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 5})
+	cm.Atomic(mem.AtomicOp{Warp: 1, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 5})
+	h.quiesce()
+	if cm.Stats.LocalAtomics != 0 {
+		t.Fatal("local atomics under a non-ownership protocol")
+	}
+	if h.sys.Backing.Load64(atomAddr) != 10 {
+		t.Fatalf("value = %d, want 10", h.sys.Backing.Load64(atomAddr))
+	}
+}

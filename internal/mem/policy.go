@@ -1,0 +1,62 @@
+package mem
+
+// LineState is the coherence state of an L1 line.
+type LineState uint8
+
+const (
+	// LineInvalid: the way holds no line.
+	LineInvalid LineState = iota
+	// LineValid: a clean (or pending-flush dirty) copy; invalidated by
+	// acquire self-invalidation unless the policy keeps it.
+	LineValid
+	// LineOwned: a registered DeNovo line; the L2 directory points here,
+	// remote readers are forwarded here, and the line survives acquires.
+	LineOwned
+)
+
+// String returns the state name.
+func (s LineState) String() string {
+	switch s {
+	case LineInvalid:
+		return "I"
+	case LineValid:
+		return "V"
+	case LineOwned:
+		return "O"
+	}
+	return "?"
+}
+
+// FlushAction tells the store buffer what flushing one dirty line requires
+// under the active protocol.
+type FlushAction uint8
+
+const (
+	// FlushWriteThrough sends the line's data to the L2 and waits for a
+	// WriteAck (GPU coherence).
+	FlushWriteThrough FlushAction = iota
+	// FlushOwnReq registers ownership at the L2 directory and waits for
+	// an OwnAck; the data stays dirty in the L1 (DeNovo).
+	FlushOwnReq
+	// FlushNone completes immediately: the line is already owned here, so
+	// a release has nothing to do for it (DeNovo's cheap-release win).
+	FlushNone
+)
+
+// Policy is the coherence protocol hook consumed by CoreMem. The two
+// implementations live in internal/coherence; keeping the interface here,
+// next to its consumer, follows the usual Go dependency direction.
+type Policy interface {
+	// Name identifies the protocol in reports ("GPU coherence", "DeNovo").
+	Name() string
+	// KeepOnAcquire reports whether a line in the given state (with the
+	// given dirty status) survives an acquire self-invalidation.
+	// Pending-flush dirty lines are the warp's own unflushed writes and
+	// survive under both protocols of the paper.
+	KeepOnAcquire(state LineState, dirty bool) bool
+	// FlushLine returns the action required to flush one dirty line.
+	FlushLine(state LineState) FlushAction
+	// UsesOwnership reports whether the protocol registers L1 ownership
+	// (enables remote-L1 forwarding at the L2).
+	UsesOwnership() bool
+}

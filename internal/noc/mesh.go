@@ -1,0 +1,188 @@
+// Package noc models the on-chip interconnect: a 2D mesh with XY routing,
+// per-output-port FIFOs with single-message-per-cycle link bandwidth, and a
+// fixed per-router pipeline latency. Latency between tiles is therefore
+// distance dependent plus contention, which is what produces the paper's
+// reported latency ranges (L2 hit 29-61 cycles, remote L1 35-83, memory
+// 197-261) from single base parameters.
+package noc
+
+import "fmt"
+
+// Port selects the endpoint within a tile a message is delivered to: each
+// tile hosts one core-side endpoint (an L1 / LSU) and one L2 bank.
+type Port uint8
+
+const (
+	// PortCore delivers to the tile's core-side endpoint (L1 miss
+	// handler, DMA engine, stash fill unit).
+	PortCore Port = iota
+	// PortL2 delivers to the tile's L2 bank.
+	PortL2
+)
+
+// Handler receives delivered message payloads. Delivery happens during the
+// mesh tick, before cores and caches tick in the same cycle.
+type Handler func(tile int, port Port, payload any)
+
+type msg struct {
+	dst     int
+	port    Port
+	payload any
+	readyAt uint64
+	hops    int
+}
+
+const (
+	dirNorth = iota
+	dirEast
+	dirSouth
+	dirWest
+	dirLocal
+	numDirs
+)
+
+type outQueue struct {
+	q []*msg
+}
+
+func (q *outQueue) push(m *msg) { q.q = append(q.q, m) }
+
+func (q *outQueue) popReady(cycle uint64) *msg {
+	if len(q.q) == 0 || q.q[0].readyAt > cycle {
+		return nil
+	}
+	m := q.q[0]
+	q.q[0] = nil
+	q.q = q.q[1:]
+	return m
+}
+
+type router struct {
+	out [numDirs]outQueue
+}
+
+// Mesh is a W x H mesh of routers with deterministic XY (X-first) routing.
+type Mesh struct {
+	w, h      int
+	linkLat   uint64
+	routerLat uint64
+	routers   []router
+	handler   Handler
+	cycle     uint64
+
+	// Stats counts traffic for network reporting.
+	Stats Stats
+}
+
+// Stats aggregates mesh traffic counters.
+type Stats struct {
+	Messages uint64 // messages delivered
+	Hops     uint64 // total link traversals
+	Injected uint64 // messages injected
+	InFlight int    // messages currently buffered
+}
+
+// New builds a w x h mesh. handler receives every delivered message.
+func New(w, h, linkLat, routerLat int, handler Handler) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", w, h))
+	}
+	return &Mesh{
+		w: w, h: h,
+		linkLat:   uint64(linkLat),
+		routerLat: uint64(routerLat),
+		routers:   make([]router, w*h),
+		handler:   handler,
+	}
+}
+
+// Tiles returns the number of tiles.
+func (m *Mesh) Tiles() int { return m.w * m.h }
+
+// Distance returns the Manhattan hop distance between two tiles.
+func (m *Mesh) Distance(a, b int) int {
+	ax, ay := a%m.w, a/m.w
+	bx, by := b%m.w, b/m.w
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Send injects a message at tile src destined for (dst, port). It may be
+// called at any point during the cycle; the message becomes eligible to
+// move on the next mesh tick.
+func (m *Mesh) Send(src, dst int, port Port, payload any) {
+	if src < 0 || src >= m.Tiles() || dst < 0 || dst >= m.Tiles() {
+		panic(fmt.Sprintf("noc: send %d->%d outside %d-tile mesh", src, dst, m.Tiles()))
+	}
+	m.Stats.Injected++
+	m.Stats.InFlight++
+	m.route(src, &msg{dst: dst, port: port, payload: payload, readyAt: m.cycle + m.routerLat})
+}
+
+// route places a message in the proper output queue of tile's router.
+// XY routing: correct X first, then Y, then eject locally.
+func (m *Mesh) route(tile int, mg *msg) {
+	tx, ty := tile%m.w, tile/m.w
+	dx, dy := mg.dst%m.w, mg.dst/m.w
+	dir := dirLocal
+	switch {
+	case dx > tx:
+		dir = dirEast
+	case dx < tx:
+		dir = dirWest
+	case dy > ty:
+		dir = dirSouth
+	case dy < ty:
+		dir = dirNorth
+	}
+	m.routers[tile].out[dir].push(mg)
+}
+
+// neighbor returns the tile index one hop in dir from tile.
+func (m *Mesh) neighbor(tile, dir int) int {
+	switch dir {
+	case dirNorth:
+		return tile - m.w
+	case dirSouth:
+		return tile + m.w
+	case dirEast:
+		return tile + 1
+	case dirWest:
+		return tile - 1
+	}
+	return tile
+}
+
+// Tick advances every router by one cycle: each output port forwards at
+// most one ready message (link bandwidth), and each local port delivers at
+// most one ready message to its endpoint (ejection bandwidth).
+func (m *Mesh) Tick(cycle uint64) {
+	m.cycle = cycle
+	for i := range m.routers {
+		r := &m.routers[i]
+		for dir := 0; dir < dirLocal; dir++ {
+			mg := r.out[dir].popReady(cycle)
+			if mg == nil {
+				continue
+			}
+			mg.hops++
+			mg.readyAt = cycle + m.linkLat + m.routerLat
+			m.route(m.neighbor(i, dir), mg)
+		}
+		if mg := r.out[dirLocal].popReady(cycle); mg != nil {
+			m.Stats.Messages++
+			m.Stats.Hops += uint64(mg.hops)
+			m.Stats.InFlight--
+			m.handler(i, mg.port, mg.payload)
+		}
+	}
+}
+
+// Quiesced reports whether no messages are buffered anywhere in the mesh.
+func (m *Mesh) Quiesced() bool { return m.Stats.InFlight == 0 }

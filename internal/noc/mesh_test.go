@@ -1,0 +1,176 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// collect builds a mesh whose deliveries append to a slice.
+type delivery struct {
+	tile    int
+	port    Port
+	payload any
+	cycle   uint64
+}
+
+func testMesh(w, h int) (*Mesh, *[]delivery) {
+	var got []delivery
+	var cyc uint64
+	m := New(w, h, 1, 1, func(tile int, port Port, payload any) {
+		got = append(got, delivery{tile, port, payload, cyc})
+	})
+	_ = cyc
+	return m, &got
+}
+
+func runCycles(m *Mesh, got *[]delivery, from, n uint64) {
+	for c := from; c < from+n; c++ {
+		before := len(*got)
+		m.Tick(c)
+		for i := before; i < len(*got); i++ {
+			(*got)[i].cycle = c
+		}
+	}
+}
+
+func TestMeshDistance(t *testing.T) {
+	m, _ := testMesh(4, 4)
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 1}, {0, 5, 2}, {0, 15, 6}, {3, 12, 6},
+	}
+	for _, tt := range tests {
+		if got := m.Distance(tt.a, tt.b); got != tt.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMeshDeliveryAndLatency(t *testing.T) {
+	m, got := testMesh(4, 4)
+	m.Send(0, 0, PortL2, "local")
+	runCycles(m, got, 0, 5)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*got))
+	}
+	d := (*got)[0]
+	if d.tile != 0 || d.port != PortL2 || d.payload != "local" {
+		t.Fatalf("delivery = %+v", d)
+	}
+	localLat := d.cycle
+
+	// A remote message takes longer, by roughly 2 cycles per hop.
+	*got = (*got)[:0]
+	m.Send(0, 15, PortCore, "far")
+	runCycles(m, got, 5, 40)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*got))
+	}
+	farLat := (*got)[0].cycle - 5
+	wantMin := uint64(2 * m.Distance(0, 15)) // link+router per hop
+	if farLat < wantMin {
+		t.Errorf("far latency %d < expected minimum %d", farLat, wantMin)
+	}
+	if farLat <= localLat {
+		t.Errorf("far latency %d not greater than local %d", farLat, localLat)
+	}
+}
+
+func TestMeshXYOrderingPreserved(t *testing.T) {
+	// Two messages on the same path arrive in send order (link FIFOs).
+	m, got := testMesh(4, 4)
+	m.Send(0, 3, PortL2, 1)
+	m.Send(0, 3, PortL2, 2)
+	runCycles(m, got, 0, 30)
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(*got))
+	}
+	if (*got)[0].payload != 1 || (*got)[1].payload != 2 {
+		t.Fatalf("out of order: %+v", *got)
+	}
+	if (*got)[1].cycle <= (*got)[0].cycle {
+		t.Fatalf("no serialization: %d then %d", (*got)[0].cycle, (*got)[1].cycle)
+	}
+}
+
+func TestMeshContentionSerializes(t *testing.T) {
+	// Ejection bandwidth is one message per tile per cycle: n messages to
+	// the same tile take at least n cycles to deliver.
+	m, got := testMesh(4, 4)
+	const n = 8
+	for i := 0; i < n; i++ {
+		m.Send(i%4, 5, PortL2, i)
+	}
+	runCycles(m, got, 0, 60)
+	if len(*got) != n {
+		t.Fatalf("deliveries = %d, want %d", len(*got), n)
+	}
+	first, last := (*got)[0].cycle, (*got)[n-1].cycle
+	if last-first < n/2 {
+		t.Errorf("contention did not serialize: first %d last %d", first, last)
+	}
+}
+
+func TestMeshStatsAndQuiesce(t *testing.T) {
+	m, got := testMesh(2, 2)
+	if !m.Quiesced() {
+		t.Fatal("fresh mesh not quiesced")
+	}
+	m.Send(0, 3, PortCore, "x")
+	if m.Quiesced() {
+		t.Fatal("mesh quiesced with message in flight")
+	}
+	runCycles(m, got, 0, 20)
+	if !m.Quiesced() {
+		t.Fatal("mesh not quiesced after delivery")
+	}
+	if m.Stats.Injected != 1 || m.Stats.Messages != 1 {
+		t.Fatalf("stats = %+v", m.Stats)
+	}
+	if m.Stats.Hops != uint64(m.Distance(0, 3)) {
+		t.Fatalf("hops = %d, want %d", m.Stats.Hops, m.Distance(0, 3))
+	}
+}
+
+func TestMeshSendValidation(t *testing.T) {
+	m, _ := testMesh(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range tile")
+		}
+	}()
+	m.Send(0, 9, PortL2, nil)
+}
+
+// TestMeshAllDelivered: every injected message is eventually delivered to
+// its destination exactly once, for arbitrary traffic patterns.
+func TestMeshAllDelivered(t *testing.T) {
+	prop := func(pairs []uint8) bool {
+		if len(pairs) > 64 {
+			pairs = pairs[:64]
+		}
+		m, got := testMesh(4, 4)
+		want := map[int]int{} // dst -> count
+		for i, p := range pairs {
+			src, dst := int(p)%16, int(p>>4)%16
+			m.Send(src, dst, PortL2, i)
+			want[dst]++
+		}
+		runCycles(m, got, 0, 600)
+		if !m.Quiesced() || len(*got) != len(pairs) {
+			return false
+		}
+		have := map[int]int{}
+		for _, d := range *got {
+			have[d.tile]++
+		}
+		for dst, n := range want {
+			if have[dst] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package scratchpad
+
+import (
+	"gsi/internal/mem"
+	"gsi/internal/noc"
+)
+
+// Mapping describes a block's scratchpad/stash window onto the global
+// address space: Bytes bytes starting at GlobalBase map to local addresses
+// starting at LocalBase.
+type Mapping struct {
+	GlobalBase uint64
+	LocalBase  uint64
+	Bytes      uint64
+}
+
+// Contains reports whether the local address falls inside the mapping.
+func (m Mapping) Contains(local uint64) bool {
+	return local >= m.LocalBase && local < m.LocalBase+m.Bytes
+}
+
+// GlobalFor translates a local address inside the mapping.
+func (m Mapping) GlobalFor(local uint64) uint64 {
+	return m.GlobalBase + (local - m.LocalBase)
+}
+
+// LocalFor translates a global address inside the mapping.
+func (m Mapping) LocalFor(global uint64) uint64 {
+	return m.LocalBase + (global - m.GlobalBase)
+}
+
+// DMAState is the engine's phase.
+type DMAState uint8
+
+const (
+	// DMAIdle: no transfer programmed.
+	DMAIdle DMAState = iota
+	// DMALoading: the bulk load into the scratchpad is in progress;
+	// local accesses to the mapped region block (core granularity).
+	DMALoading
+	// DMAReady: the load finished; the scratchpad is usable.
+	DMAReady
+	// DMAWritingBack: the bulk write-back to global memory is draining.
+	DMAWritingBack
+	// DMADone: everything including write-back has completed.
+	DMADone
+)
+
+// DMAEngine approximates D2MA: it transfers the mapped region into the
+// scratchpad in bulk, issuing one line request per cycle, bypassing the
+// pipeline and the L1 but consuming MSHR entries (which is why the paper's
+// scratchpad+DMA configuration fills the MSHR faster than the baseline).
+// On write-back it issues one write-through per cycle and waits for acks.
+type DMAEngine struct {
+	pad      *Scratchpad
+	cm       *mem.CoreMem
+	backing  *mem.Backing
+	mesh     *noc.Mesh
+	tile     int
+	coreID   int
+	bankTile func(line uint64) int
+	lineSize uint64
+
+	state   DMAState
+	mapping Mapping
+
+	nextIn     uint64 // next global line offset to request
+	pendingIn  map[uint64]struct{}
+	nextOut    uint64
+	pendingOut map[uint64]struct{}
+	cycle      uint64
+
+	// Stats.
+	LinesIn, LinesOut uint64
+	MSHRWaits         uint64
+}
+
+// NewDMAEngine builds an engine attached to one SM's scratchpad and memory
+// unit.
+func NewDMAEngine(pad *Scratchpad, cm *mem.CoreMem, backing *mem.Backing,
+	mesh *noc.Mesh, tile, coreID int, bankTile func(uint64) int, lineSize int) *DMAEngine {
+	return &DMAEngine{
+		pad: pad, cm: cm, backing: backing, mesh: mesh,
+		tile: tile, coreID: coreID, bankTile: bankTile,
+		lineSize:   uint64(lineSize),
+		pendingIn:  make(map[uint64]struct{}),
+		pendingOut: make(map[uint64]struct{}),
+	}
+}
+
+// State returns the engine phase.
+func (d *DMAEngine) State() DMAState { return d.state }
+
+// Blocking reports whether a local access to the mapped region must stall
+// (pending DMA): true during the bulk load. The paper's scratchpad+DMA
+// blocks at core granularity, so the LSU treats any mapped access as
+// blocked while this is true.
+func (d *DMAEngine) Blocking(local uint64) bool {
+	return d.state == DMALoading && d.mapping.Contains(local)
+}
+
+// StartIn programs the load transfer; data becomes usable when State
+// reaches DMAReady.
+func (d *DMAEngine) StartIn(m Mapping) {
+	d.mapping = m
+	d.state = DMALoading
+	d.nextIn = 0
+	if m.Bytes == 0 {
+		d.state = DMAReady
+	}
+}
+
+// StartOut programs the bulk write-back (kernel end).
+func (d *DMAEngine) StartOut() {
+	if d.mapping.Bytes == 0 {
+		d.state = DMADone
+		return
+	}
+	d.state = DMAWritingBack
+	d.nextOut = 0
+}
+
+// Tick issues at most one line transfer per cycle in either direction.
+func (d *DMAEngine) Tick(cycle uint64) {
+	d.cycle = cycle
+	switch d.state {
+	case DMALoading:
+		d.tickIn()
+	case DMAWritingBack:
+		d.tickOut()
+	}
+}
+
+func (d *DMAEngine) tickIn() {
+	if d.nextIn >= d.mapping.Bytes {
+		if len(d.pendingIn) == 0 {
+			d.state = DMAReady
+		}
+		return
+	}
+	global := d.mapping.GlobalBase + d.nextIn
+	line := global &^ (d.lineSize - 1)
+	switch d.cm.Load(global, mem.Target{Kind: mem.TargetDMAFill, Aux: line, NoL1: true}) {
+	case mem.LoadMSHRFull:
+		d.MSHRWaits++
+		return // retry next cycle
+	case mem.LoadHit:
+		d.copyIn(line)
+	case mem.LoadMiss, mem.LoadMerged:
+		d.pendingIn[line] = struct{}{}
+	}
+	d.LinesIn++
+	d.nextIn += d.lineSize
+}
+
+// FillDone completes one inbound line; the SM routes TargetDMAFill
+// completions here.
+func (d *DMAEngine) FillDone(line uint64) {
+	if _, ok := d.pendingIn[line]; !ok {
+		return
+	}
+	delete(d.pendingIn, line)
+	d.copyIn(line)
+	if d.state == DMALoading && d.nextIn >= d.mapping.Bytes && len(d.pendingIn) == 0 {
+		d.state = DMAReady
+	}
+}
+
+// copyIn moves one line's words from global memory into the scratchpad
+// (functional side of the transfer).
+func (d *DMAEngine) copyIn(line uint64) {
+	for off := uint64(0); off < d.lineSize; off += 8 {
+		g := line + off
+		if g < d.mapping.GlobalBase || g >= d.mapping.GlobalBase+d.mapping.Bytes {
+			continue
+		}
+		d.pad.Store64(d.mapping.LocalFor(g), d.backing.Load64(g))
+	}
+}
+
+func (d *DMAEngine) tickOut() {
+	if d.nextOut >= d.mapping.Bytes {
+		if len(d.pendingOut) == 0 {
+			d.state = DMADone
+		}
+		return
+	}
+	global := d.mapping.GlobalBase + d.nextOut
+	line := global &^ (d.lineSize - 1)
+	// Functional copy-out of the line's mapped words, then a
+	// write-through carrying the line to its home bank.
+	for off := uint64(0); off < d.lineSize; off += 8 {
+		g := line + off
+		if g < d.mapping.GlobalBase || g >= d.mapping.GlobalBase+d.mapping.Bytes {
+			continue
+		}
+		d.backing.Store64(g, d.pad.Load64(d.mapping.LocalFor(g)))
+	}
+	d.pendingOut[line] = struct{}{}
+	d.mesh.Send(d.tile, d.bankTile(line), noc.PortL2,
+		mem.WriteThrough{Line: line, Requestor: d.coreID})
+	d.LinesOut++
+	d.nextOut += d.lineSize
+}
+
+// WriteAcked consumes write-back acknowledgements (the SM forwards every
+// WriteAck; lines not in the outstanding set are someone else's).
+func (d *DMAEngine) WriteAcked(line uint64) {
+	if _, ok := d.pendingOut[line]; !ok {
+		return
+	}
+	delete(d.pendingOut, line)
+	if d.state == DMAWritingBack && d.nextOut >= d.mapping.Bytes && len(d.pendingOut) == 0 {
+		d.state = DMADone
+	}
+}
+
+// Quiesced reports no transfer in progress.
+func (d *DMAEngine) Quiesced() bool {
+	return d.state == DMAIdle || d.state == DMAReady || d.state == DMADone
+}

@@ -1,0 +1,71 @@
+// Package scratchpad implements the three local-memory organizations of
+// case study 2: the baseline software-managed scratchpad, the
+// scratchpad+DMA configuration (a D2MA-like engine bulk-transfers the
+// mapped region, blocking local accesses at core granularity until the
+// transfer completes), and the stash (a coherent hybrid that fills mapped
+// lines on demand from the global space and lazily registers dirty lines,
+// blocking only the touching warp).
+package scratchpad
+
+import "fmt"
+
+// Scratchpad is a banked, directly addressed local memory private to a
+// thread block. It is not coherent: data moves in and out only through
+// explicit instructions or an attached DMA engine.
+type Scratchpad struct {
+	words []uint64
+	banks int
+}
+
+// New builds a scratchpad of size bytes with the given bank count.
+func New(size, banks int) *Scratchpad {
+	if size <= 0 || banks <= 0 {
+		panic(fmt.Sprintf("scratchpad: invalid geometry size=%d banks=%d", size, banks))
+	}
+	return &Scratchpad{words: make([]uint64, size/8), banks: banks}
+}
+
+// Size returns capacity in bytes.
+func (s *Scratchpad) Size() int { return len(s.words) * 8 }
+
+// Reset zeroes the contents (a new thread block takes over the SM).
+func (s *Scratchpad) Reset() {
+	clear(s.words)
+}
+
+// Banks returns the bank count.
+func (s *Scratchpad) Banks() int { return s.banks }
+
+func (s *Scratchpad) wordIndex(addr uint64) int {
+	i := int(addr / 8)
+	if i < 0 || i >= len(s.words) {
+		panic(fmt.Sprintf("scratchpad: address %#x outside %d-byte scratchpad", addr, s.Size()))
+	}
+	return i
+}
+
+// Load64 reads the local word at addr.
+func (s *Scratchpad) Load64(addr uint64) uint64 { return s.words[s.wordIndex(addr)] }
+
+// Store64 writes the local word at addr.
+func (s *Scratchpad) Store64(addr uint64, v uint64) { s.words[s.wordIndex(addr)] = v }
+
+// ConflictCycles returns the serialization cost of a set of simultaneous
+// lane accesses: the maximum number of lanes mapping to any single bank
+// (word-interleaved banking). One access per bank proceeds per cycle, so a
+// conflict-free warp access costs 1 cycle.
+func (s *Scratchpad) ConflictCycles(addrs []uint64) int {
+	if len(addrs) == 0 {
+		return 1
+	}
+	counts := make(map[int]int, s.banks)
+	maxCount := 0
+	for _, a := range addrs {
+		b := int(a/8) % s.banks
+		counts[b]++
+		if counts[b] > maxCount {
+			maxCount = counts[b]
+		}
+	}
+	return maxCount
+}

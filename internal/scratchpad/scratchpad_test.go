@@ -1,0 +1,105 @@
+package scratchpad
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScratchpadLoadStore(t *testing.T) {
+	s := New(1024, 32)
+	if s.Size() != 1024 || s.Banks() != 32 {
+		t.Fatalf("geometry: size=%d banks=%d", s.Size(), s.Banks())
+	}
+	s.Store64(8, 42)
+	if s.Load64(8) != 42 {
+		t.Fatal("roundtrip failed")
+	}
+	s.Reset()
+	if s.Load64(8) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestScratchpadBoundsPanic(t *testing.T) {
+	s := New(64, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Load64(64)
+}
+
+func TestConflictCycles(t *testing.T) {
+	s := New(16<<10, 32)
+	addr := func(word int) uint64 { return uint64(word * 8) }
+	tests := []struct {
+		name  string
+		words []int
+		want  int
+	}{
+		{"empty", nil, 1},
+		{"single", []int{0}, 1},
+		{"consecutive words hit distinct banks", seq(0, 32, 1), 1},
+		{"stride 32 words aliases one bank", seq(0, 8, 32), 8},
+		{"stride 16 words aliases pairwise", seq(0, 32, 16), 16},
+		{"stride 2 uses half the banks", seq(0, 32, 2), 2},
+		{"same word everywhere", []int{5, 5, 5, 5}, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			addrs := make([]uint64, len(tt.words))
+			for i, w := range tt.words {
+				addrs[i] = addr(w)
+			}
+			if got := s.ConflictCycles(addrs); got != tt.want {
+				t.Errorf("ConflictCycles = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func seq(start, n, stride int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i*stride
+	}
+	return out
+}
+
+// TestConflictCyclesBounds: the conflict cost is always between 1 and the
+// lane count, and at least lanes/banks (pigeonhole).
+func TestConflictCyclesBounds(t *testing.T) {
+	s := New(16<<10, 32)
+	prop := func(words []uint16) bool {
+		if len(words) == 0 {
+			return true
+		}
+		if len(words) > 32 {
+			words = words[:32]
+		}
+		addrs := make([]uint64, len(words))
+		for i, w := range words {
+			addrs[i] = uint64(w%2048) * 8
+		}
+		c := s.ConflictCycles(addrs)
+		minC := (len(addrs) + s.Banks() - 1) / s.Banks()
+		return c >= minC && c <= len(addrs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapping(t *testing.T) {
+	m := Mapping{GlobalBase: 0x1000, LocalBase: 0x100, Bytes: 0x200}
+	if !m.Contains(0x100) || !m.Contains(0x2FF) || m.Contains(0x300) || m.Contains(0xFF) {
+		t.Fatal("Contains wrong")
+	}
+	if m.GlobalFor(0x180) != 0x1080 {
+		t.Fatalf("GlobalFor = %#x", m.GlobalFor(0x180))
+	}
+	if m.LocalFor(0x1080) != 0x180 {
+		t.Fatalf("LocalFor = %#x", m.LocalFor(0x1080))
+	}
+}

@@ -1,0 +1,116 @@
+package scratchpad
+
+import "fmt"
+
+// Stash is the hybrid local memory of Komuravelli et al.: directly
+// addressed like a scratchpad, but part of the coherent global address
+// space. A stash map translates local addresses to global ones; the first
+// load of an unfilled line generates a global request (filling the stash
+// directly, bypassing the L1), and dirty lines are registered through the
+// store buffer so remote readers can be served and write-back is lazy.
+//
+// Stash timing interplay (MSHR use, SB use, warp-granularity blocking) is
+// driven by the SM's load/store unit; this type tracks the map and the
+// per-line fill/dirty state.
+type Stash struct {
+	pad      *Scratchpad
+	mapping  Mapping
+	lineSize uint64
+
+	present map[uint64]bool // local line index -> filled
+	filling map[uint64]bool // local line index -> fill in flight
+	dirty   map[uint64]bool
+
+	// Stats.
+	Hits, FillsStarted, FillsMerged uint64
+}
+
+// NewStash wraps a scratchpad array as a stash.
+func NewStash(pad *Scratchpad, lineSize int) *Stash {
+	return &Stash{
+		pad:      pad,
+		lineSize: uint64(lineSize),
+		present:  make(map[uint64]bool),
+		filling:  make(map[uint64]bool),
+		dirty:    make(map[uint64]bool),
+	}
+}
+
+// SetMapping programs the stash map for the running block.
+func (s *Stash) SetMapping(m Mapping) {
+	s.mapping = m
+	clear(s.present)
+	clear(s.filling)
+	clear(s.dirty)
+}
+
+// Mapping returns the active map.
+func (s *Stash) Mapping() Mapping { return s.mapping }
+
+func (s *Stash) lineOf(local uint64) uint64 { return local / s.lineSize }
+
+// GlobalFor translates a local stash address to its global address. It
+// panics if the address is outside the mapping — a kernel bug.
+func (s *Stash) GlobalFor(local uint64) uint64 {
+	if !s.mapping.Contains(local) {
+		panic(fmt.Sprintf("stash: local %#x outside mapping", local))
+	}
+	return s.mapping.GlobalFor(local)
+}
+
+// LoadState classifies a stash load access.
+type LoadState uint8
+
+const (
+	// StashHit: the word's line is present; 1-cycle local access.
+	StashHit LoadState = iota
+	// StashNeedFill: first touch; the LSU must issue a global fill.
+	StashNeedFill
+	// StashFillPending: a fill for this line is already in flight; the
+	// LSU merges (the load completes when the fill returns).
+	StashFillPending
+)
+
+// LoadAccess classifies a load of the given local address.
+func (s *Stash) LoadAccess(local uint64) LoadState {
+	l := s.lineOf(local)
+	switch {
+	case s.present[l]:
+		s.Hits++
+		return StashHit
+	case s.filling[l]:
+		s.FillsMerged++
+		return StashFillPending
+	default:
+		return StashNeedFill
+	}
+}
+
+// FillStarted marks a fill in flight for the line containing local.
+func (s *Stash) FillStarted(local uint64) {
+	s.FillsStarted++
+	s.filling[s.lineOf(local)] = true
+}
+
+// FillDone marks the line containing the *global* line address as present.
+func (s *Stash) FillDone(globalLine uint64) {
+	if globalLine < s.mapping.GlobalBase ||
+		globalLine >= s.mapping.GlobalBase+s.mapping.Bytes {
+		return
+	}
+	l := s.lineOf(s.mapping.LocalFor(globalLine))
+	delete(s.filling, l)
+	s.present[l] = true
+}
+
+// StoreAccess records a store: write-allocate (the line becomes present
+// without a fill; word data is functionally in the global backing store)
+// and dirty.
+func (s *Stash) StoreAccess(local uint64) {
+	l := s.lineOf(local)
+	s.present[l] = true
+	s.dirty[l] = true
+}
+
+// DirtyLines reports the number of dirty stash lines (tests/stats).
+func (s *Stash) DirtyLines() int { return len(s.dirty) }

@@ -1,0 +1,72 @@
+package scratchpad
+
+import "testing"
+
+func testStash() *Stash {
+	s := NewStash(New(16<<10, 32), 64)
+	s.SetMapping(Mapping{GlobalBase: 0x10000, LocalBase: 0, Bytes: 16 << 10})
+	return s
+}
+
+func TestStashLoadStateMachine(t *testing.T) {
+	s := testStash()
+	if got := s.LoadAccess(0x40); got != StashNeedFill {
+		t.Fatalf("first touch = %v, want need-fill", got)
+	}
+	s.FillStarted(0x40)
+	if got := s.LoadAccess(0x48); got != StashFillPending {
+		t.Fatalf("during fill = %v, want pending", got)
+	}
+	s.FillDone(0x10040) // global line for local line 1
+	if got := s.LoadAccess(0x40); got != StashHit {
+		t.Fatalf("after fill = %v, want hit", got)
+	}
+	if s.Hits != 1 || s.FillsStarted != 1 || s.FillsMerged != 1 {
+		t.Fatalf("stats: hits=%d starts=%d merges=%d", s.Hits, s.FillsStarted, s.FillsMerged)
+	}
+}
+
+func TestStashFillDoneIgnoresForeignLines(t *testing.T) {
+	s := testStash()
+	s.FillDone(0x9999_0000) // outside the mapping: ignored
+	if got := s.LoadAccess(0); got != StashNeedFill {
+		t.Fatalf("foreign fill marked a line present: %v", got)
+	}
+}
+
+func TestStashStoreWriteAllocates(t *testing.T) {
+	s := testStash()
+	s.StoreAccess(0x80)
+	// Write-allocate: the line is present and dirty without any fill.
+	if got := s.LoadAccess(0x80); got != StashHit {
+		t.Fatalf("after store = %v, want hit", got)
+	}
+	if s.DirtyLines() != 1 {
+		t.Fatalf("dirty lines = %d", s.DirtyLines())
+	}
+}
+
+func TestStashTranslation(t *testing.T) {
+	s := testStash()
+	if s.GlobalFor(0x100) != 0x10100 {
+		t.Fatalf("GlobalFor = %#x", s.GlobalFor(0x100))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unmapped address")
+		}
+	}()
+	s.GlobalFor(0x20000)
+}
+
+func TestStashSetMappingResets(t *testing.T) {
+	s := testStash()
+	s.StoreAccess(0x80)
+	s.SetMapping(Mapping{GlobalBase: 0x20000, LocalBase: 0, Bytes: 16 << 10})
+	if s.DirtyLines() != 0 {
+		t.Fatal("remap kept dirty state")
+	}
+	if got := s.LoadAccess(0x80); got != StashNeedFill {
+		t.Fatalf("remap kept present state: %v", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package sim provides the deterministic cycle engine and the shared system
+// configuration for the tightly coupled CPU-GPU simulator. All components
+// advance in a fixed registration order each GPU cycle; no wall-clock time
+// or map iteration order ever influences timing, so a given configuration
+// always produces the identical result.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ticker is one simulated component. Tick is called exactly once per GPU
+// cycle, in registration order.
+type Ticker interface {
+	Tick(cycle uint64)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(cycle uint64)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(cycle uint64) { f(cycle) }
+
+// Engine drives the simulation: a flat, single-threaded cycle loop over the
+// registered components.
+type Engine struct {
+	cycle   uint64
+	tickers []Ticker
+	names   []string
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Register appends a component to the tick order. The name is used in
+// error messages only. Registration order defines evaluation order within a
+// cycle; callers register producers before consumers (NoC before caches
+// before cores) so messages sent in cycle N are visible no earlier than N+1.
+func (e *Engine) Register(name string, t Ticker) {
+	e.tickers = append(e.tickers, t)
+	e.names = append(e.names, name)
+}
+
+// Cycle returns the current cycle (the number of completed cycles).
+func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// ErrMaxCycles is returned by Run when the cycle limit is reached before
+// done reports completion — the simulator equivalent of a watchdog timeout,
+// and almost always a deadlocked workload or protocol bug.
+var ErrMaxCycles = errors.New("sim: max cycles exceeded")
+
+// Run advances the simulation until done returns true, checking done before
+// every cycle. It returns the number of cycles executed by this call.
+func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
+	start := e.cycle
+	for !done() {
+		if e.cycle-start >= maxCycles {
+			return e.cycle - start, fmt.Errorf("%w (%d)", ErrMaxCycles, maxCycles)
+		}
+		e.Step()
+	}
+	return e.cycle - start, nil
+}
+
+// Step executes exactly one cycle.
+func (e *Engine) Step() {
+	for _, t := range e.tickers {
+		t.Tick(e.cycle)
+	}
+	e.cycle++
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEngineTickOrderAndCount(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	eng.Register("a", TickFunc(func(uint64) { order = append(order, "a") }))
+	eng.Register("b", TickFunc(func(uint64) { order = append(order, "b") }))
+	eng.Step()
+	eng.Step()
+	want := []string{"a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if eng.Cycle() != 2 {
+		t.Fatalf("Cycle = %d, want 2", eng.Cycle())
+	}
+}
+
+func TestEngineRunUntilDone(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	eng.Register("c", TickFunc(func(uint64) { count++ }))
+	n, err := eng.Run(func() bool { return count >= 5 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || count != 5 {
+		t.Fatalf("ran %d cycles, count %d, want 5", n, count)
+	}
+}
+
+func TestEngineWatchdog(t *testing.T) {
+	eng := NewEngine()
+	_, err := eng.Run(func() bool { return false }, 10)
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if eng.Cycle() != 10 {
+		t.Fatalf("Cycle = %d, want 10", eng.Cycle())
+	}
+}
+
+func TestEngineTickSeesCycleBeforeIncrement(t *testing.T) {
+	eng := NewEngine()
+	var seen []uint64
+	eng.Register("c", TickFunc(func(c uint64) { seen = append(seen, c) }))
+	eng.Step()
+	eng.Step()
+	if seen[0] != 0 || seen[1] != 1 {
+		t.Fatalf("seen = %v, want [0 1]", seen)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cfg := Default()
+	if cfg.NumCores() != 16 || cfg.CPUCore() != 15 {
+		t.Fatalf("cores = %d, cpu = %d", cfg.NumCores(), cfg.CPUCore())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero SMs", func(c *Config) { c.NumSMs = 0 }},
+		{"zero warps", func(c *Config) { c.WarpsPerSM = 0 }},
+		{"zero warp size", func(c *Config) { c.WarpSize = 0 }},
+		{"zero issue width", func(c *Config) { c.IssueWidth = 0 }},
+		{"non-power-of-two line", func(c *Config) { c.LineSize = 48 }},
+		{"tiny line", func(c *Config) { c.LineSize = 4 }},
+		{"L1 not divisible", func(c *Config) { c.L1Size = 1000 }},
+		{"zero L1 banks", func(c *Config) { c.L1Banks = 0 }},
+		{"too many L2 banks", func(c *Config) { c.L2Banks = 17 }},
+		{"L2 not divisible", func(c *Config) { c.L2Size = 12345 }},
+		{"zero MSHR", func(c *Config) { c.MSHREntries = 0 }},
+		{"zero store buffer", func(c *Config) { c.StoreBufEntries = 0 }},
+		{"zero scratch", func(c *Config) { c.ScratchSize = 0 }},
+		{"too many cores for mesh", func(c *Config) { c.NumSMs = 16 }},
+		{"zero max cycles", func(c *Config) { c.MaxCycles = 0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("config %s passed validation", tt.name)
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Package stats provides the reporting layer for GSI: ordered breakdowns,
+// normalization against a baseline, and text renderings (aligned tables,
+// stacked ASCII bar charts, CSV) that mirror the figures in the paper.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Breakdown is an ordered list of labeled values (stall cycles by category).
+// Order is significant: it is the stacking order in charts and the column
+// order in CSV output.
+type Breakdown struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// NewBreakdown builds a breakdown from parallel label/value slices.
+// It panics if the lengths differ, which is always a programming error.
+func NewBreakdown(name string, labels []string, values []float64) Breakdown {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("stats: %d labels but %d values", len(labels), len(values)))
+	}
+	return Breakdown{
+		Name:   name,
+		Labels: append([]string(nil), labels...),
+		Values: append([]float64(nil), values...),
+	}
+}
+
+// Total returns the sum of all values.
+func (b Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b.Values {
+		t += v
+	}
+	return t
+}
+
+// Get returns the value for a label, or 0 if the label is absent.
+func (b Breakdown) Get(label string) float64 {
+	for i, l := range b.Labels {
+		if l == label {
+			return b.Values[i]
+		}
+	}
+	return 0
+}
+
+// Scale returns a copy with every value multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	out := NewBreakdown(b.Name, b.Labels, b.Values)
+	for i := range out.Values {
+		out.Values[i] *= f
+	}
+	return out
+}
+
+// NormalizeTo returns a copy scaled so that the paper's convention holds:
+// every value is divided by base (typically the baseline configuration's
+// total). A zero base yields an all-zero breakdown rather than NaNs.
+func (b Breakdown) NormalizeTo(base float64) Breakdown {
+	if base == 0 {
+		return b.Scale(0)
+	}
+	return b.Scale(1 / base)
+}
+
+// Group is a set of breakdowns over the same categories, one per
+// configuration — exactly one sub-figure in the paper (e.g. fig 6.2a holds
+// "GPU coherence" and "DeNovo" execution-time breakdowns).
+type Group struct {
+	Title  string
+	Labels []string
+	Bars   []Breakdown
+}
+
+// NewGroup builds a group; every added bar must use the group's labels.
+func NewGroup(title string, labels []string) *Group {
+	return &Group{Title: title, Labels: append([]string(nil), labels...)}
+}
+
+// Add appends a bar. It panics if the bar's labels do not match the
+// group's, which is always a programming error in the harness.
+func (g *Group) Add(b Breakdown) {
+	if len(b.Labels) != len(g.Labels) {
+		panic(fmt.Sprintf("stats: bar %q has %d labels, group %q has %d",
+			b.Name, len(b.Labels), g.Title, len(g.Labels)))
+	}
+	for i := range b.Labels {
+		if b.Labels[i] != g.Labels[i] {
+			panic(fmt.Sprintf("stats: bar %q label %d is %q, group wants %q",
+				b.Name, i, b.Labels[i], g.Labels[i]))
+		}
+	}
+	g.Bars = append(g.Bars, b)
+}
+
+// Normalized returns a copy of the group with every bar divided by the
+// total of the bar named baseline (the paper normalizes each sub-figure to
+// its baseline configuration). If the baseline is absent the group is
+// returned unchanged.
+func (g *Group) Normalized(baseline string) *Group {
+	var base float64
+	for _, b := range g.Bars {
+		if b.Name == baseline {
+			base = b.Total()
+			break
+		}
+	}
+	if base == 0 {
+		return g
+	}
+	out := NewGroup(g.Title, g.Labels)
+	for _, b := range g.Bars {
+		out.Add(b.NormalizeTo(base))
+	}
+	return out
+}
+
+// Table renders the group as an aligned text table: one row per bar, one
+// column per category, plus a total column.
+func (g *Group) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", g.Title)
+	nameW := len("config")
+	for _, b := range g.Bars {
+		if len(b.Name) > nameW {
+			nameW = len(b.Name)
+		}
+	}
+	colW := make([]int, len(g.Labels))
+	for i, l := range g.Labels {
+		colW[i] = max(len(l), 9)
+	}
+	fmt.Fprintf(&sb, "%-*s", nameW, "config")
+	for i, l := range g.Labels {
+		fmt.Fprintf(&sb, "  %*s", colW[i], l)
+	}
+	fmt.Fprintf(&sb, "  %9s\n", "total")
+	for _, b := range g.Bars {
+		fmt.Fprintf(&sb, "%-*s", nameW, b.Name)
+		for i, v := range b.Values {
+			fmt.Fprintf(&sb, "  %*s", colW[i], formatVal(v))
+		}
+		fmt.Fprintf(&sb, "  %9s\n", formatVal(b.Total()))
+	}
+	return sb.String()
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v == float64(int64(v)) && v < 1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case v < 0.0005:
+		return fmt.Sprintf("%.1e", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// CSV renders the group as comma-separated values with a header row.
+func (g *Group) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("config")
+	for _, l := range g.Labels {
+		sb.WriteString(",")
+		sb.WriteString(csvEscape(l))
+	}
+	sb.WriteString(",total\n")
+	for _, b := range g.Bars {
+		sb.WriteString(csvEscape(b.Name))
+		for _, v := range b.Values {
+			fmt.Fprintf(&sb, ",%g", v)
+		}
+		fmt.Fprintf(&sb, ",%g\n", b.Total())
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func bd(name string, vals ...float64) Breakdown {
+	labels := make([]string, len(vals))
+	for i := range labels {
+		labels[i] = string(rune('a' + i))
+	}
+	return NewBreakdown(name, labels, vals)
+}
+
+func TestBreakdownTotalAndGet(t *testing.T) {
+	b := NewBreakdown("x", []string{"sync", "data"}, []float64{3, 4})
+	if b.Total() != 7 {
+		t.Errorf("Total = %v, want 7", b.Total())
+	}
+	if b.Get("data") != 4 {
+		t.Errorf("Get(data) = %v", b.Get("data"))
+	}
+	if b.Get("missing") != 0 {
+		t.Errorf("Get(missing) = %v, want 0", b.Get("missing"))
+	}
+}
+
+func TestBreakdownMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched labels/values")
+		}
+	}()
+	NewBreakdown("bad", []string{"one"}, []float64{1, 2})
+}
+
+func TestNormalizeTo(t *testing.T) {
+	b := bd("x", 2, 6)
+	n := b.NormalizeTo(4)
+	if n.Values[0] != 0.5 || n.Values[1] != 1.5 {
+		t.Errorf("normalized = %v", n.Values)
+	}
+	// Source unchanged (copy semantics).
+	if b.Values[0] != 2 {
+		t.Errorf("NormalizeTo mutated the source: %v", b.Values)
+	}
+	z := b.NormalizeTo(0)
+	if z.Total() != 0 {
+		t.Errorf("zero-base normalize produced %v", z.Values)
+	}
+}
+
+func TestGroupNormalizedToBaseline(t *testing.T) {
+	g := NewGroup("fig", []string{"a", "b"})
+	g.Add(bd("base", 5, 5))
+	g.Add(bd("other", 2, 3))
+	n := g.Normalized("base")
+	if got := n.Bars[0].Total(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("baseline normalized total = %v, want 1", got)
+	}
+	if got := n.Bars[1].Total(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("other normalized total = %v, want 0.5", got)
+	}
+	// Unknown baseline: unchanged.
+	same := g.Normalized("nope")
+	if same.Bars[0].Total() != 10 {
+		t.Errorf("missing baseline changed the group")
+	}
+}
+
+func TestGroupAddValidation(t *testing.T) {
+	g := NewGroup("fig", []string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic adding bar with wrong labels")
+		}
+	}()
+	g.Add(NewBreakdown("bad", []string{"a", "z"}, []float64{1, 2}))
+}
+
+func TestTableRendering(t *testing.T) {
+	g := NewGroup("my title", []string{"sync", "data"})
+	g.Add(bd2("cfg1", []string{"sync", "data"}, 10, 0.125))
+	out := g.Table()
+	for _, want := range []string{"my title", "cfg1", "sync", "data", "10", "0.125", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func bd2(name string, labels []string, vals ...float64) Breakdown {
+	return NewBreakdown(name, labels, vals)
+}
+
+func TestCSV(t *testing.T) {
+	g := NewGroup("t", []string{"a,x", `b"y`})
+	g.Add(bd2("cfg", []string{"a,x", `b"y`}, 1, 2))
+	out := g.CSV()
+	if !strings.Contains(out, `"a,x"`) || !strings.Contains(out, `"b""y"`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Errorf("CSV has %d lines, want 2", len(lines))
+	}
+	if !strings.HasSuffix(lines[1], ",3") {
+		t.Errorf("CSV total column wrong: %q", lines[1])
+	}
+}
+
+func TestChartBounds(t *testing.T) {
+	g := NewGroup("chart", []string{"a", "b", "c"})
+	g.Add(bd("one", 1, 2, 3))
+	g.Add(bd("two", 6, 0, 0))
+	out := g.Chart(40)
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("chart missing legend:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			j := strings.LastIndexByte(line, '|')
+			if j-i-1 > 41 {
+				t.Errorf("bar wider than width: %q", line)
+			}
+		}
+	}
+	empty := NewGroup("empty", []string{"a"})
+	empty.Add(bd("zero", 0))
+	if out := empty.Chart(40); !strings.Contains(out, "all bars empty") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+// TestChartWidthProperty: the longest bar always spans close to the target
+// width (rounding may drop at most one cell) and no bar exceeds it.
+func TestChartWidthProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		vals := make([]float64, len(raw))
+		total := 0.0
+		for i, v := range raw {
+			vals[i] = float64(v)
+			total += float64(v)
+		}
+		if total == 0 {
+			return true
+		}
+		g := NewGroup("p", NewBreakdown("x", nil, nil).Labels)
+		g = NewGroup("p", labelsFor(len(vals)))
+		g.Add(NewBreakdown("bar", labelsFor(len(vals)), vals))
+		out := g.Chart(50)
+		for _, line := range strings.Split(out, "\n") {
+			i := strings.IndexByte(line, '|')
+			j := strings.LastIndexByte(line, '|')
+			if i < 0 || j <= i {
+				continue
+			}
+			w := j - i - 1
+			if w > 51 || w < 49 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func labelsFor(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + i))
+	}
+	return out
+}

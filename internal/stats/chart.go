@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// glyphs used to fill stacked bar segments, one per category, cycling if a
+// group has more categories than glyphs.
+var barGlyphs = []byte{'#', '=', '+', ':', 'o', '*', '.', '%', '@', '~'}
+
+// Chart renders the group as a horizontal stacked bar chart resembling the
+// paper's figures: one bar per configuration, segments in category order,
+// scaled so the longest bar spans width characters. A legend maps glyphs to
+// category labels with each bar's percentage share.
+func (g *Group) Chart(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", g.Title)
+	maxTotal := 0.0
+	nameW := 0
+	for _, b := range g.Bars {
+		if t := b.Total(); t > maxTotal {
+			maxTotal = t
+		}
+		if len(b.Name) > nameW {
+			nameW = len(b.Name)
+		}
+	}
+	if maxTotal == 0 {
+		sb.WriteString("(all bars empty)\n")
+		return sb.String()
+	}
+	for _, b := range g.Bars {
+		fmt.Fprintf(&sb, "%-*s |", nameW, b.Name)
+		drawn := 0
+		want := 0.0
+		for i, v := range b.Values {
+			want += v / maxTotal * float64(width)
+			// Accumulate fractional widths so rounding error never
+			// exceeds one cell across the whole bar.
+			n := int(want+0.5) - drawn
+			if n <= 0 {
+				continue
+			}
+			sb.Write(bytesRepeat(barGlyphs[i%len(barGlyphs)], n))
+			drawn += n
+		}
+		fmt.Fprintf(&sb, "| %s\n", formatVal(b.Total()))
+	}
+	sb.WriteString("legend: ")
+	for i, l := range g.Labels {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%c=%s", barGlyphs[i%len(barGlyphs)], l)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

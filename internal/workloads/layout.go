@@ -1,0 +1,39 @@
+package workloads
+
+// Memory layout of the workloads in the unified address space. Regions are
+// spaced far apart so distinct structures never share cache lines, and
+// every hot synchronization variable gets its own line.
+const (
+	// Global task queue (UTS and UTSD overflow).
+	addrLock = 0x0001_0000 // queue lock word
+	addrHead = 0x0001_0040 // pop index
+	addrTail = 0x0001_0080 // push index
+	addrDone = 0x0001_00C0 // processed-node counter (atomic)
+
+	addrTasks = 0x0010_0000 // global task ids, 8 B each
+
+	addrChildCount = 0x0100_0000 // per-node child count
+	addrChildBase  = 0x0180_0000 // per-node first-child id
+	addrResult     = 0x0280_0000 // per-node result word written on process
+
+	// UTSD per-SM local queues: lock/head/tail on separate lines within
+	// a lqMetaStride region per queue; ring buffers of lqCap tasks. The
+	// strides are odd multiples of the line size so consecutive queues'
+	// hot lines spread across all L2 banks instead of aliasing onto a
+	// few (16-bank interleaving; a stride that is a multiple of 16 lines
+	// would put every queue's lock on the same bank).
+	addrLQMeta   = 0x0300_0000
+	lqMetaStride = 0x440
+	addrLQTasks  = 0x0310_0000
+	lqTaskStride = 0x1_0440
+
+	// Implicit microbenchmark data array.
+	addrData = 0x0800_0000
+)
+
+func lqLockAddr(q int) uint64 { return addrLQMeta + uint64(q)*lqMetaStride }
+func lqHeadAddr(q int) uint64 { return lqLockAddr(q) + 0x40 }
+func lqTailAddr(q int) uint64 { return lqLockAddr(q) + 0x80 }
+func lqTasksBase(q int) uint64 {
+	return addrLQTasks + uint64(q)*lqTaskStride
+}

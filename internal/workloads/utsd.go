@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gsi/internal/cpu"
+	"gsi/internal/gpu"
+	"gsi/internal/isa"
+)
+
+// UTSD is the decentralized variant of section 6.1.4: each SM owns a local
+// task queue (its own lock, ring buffer) and falls back to the shared
+// global queue only when the local queue overflows (push) or runs dry
+// (pop). Locality makes producers and consumers meet on the same SM, which
+// is what lets DeNovo's ownership pay off (figure 6.2).
+type UTSD struct {
+	Seed          uint64
+	Nodes         int
+	FrontierMin   int
+	Blocks        int
+	WarpsPerBlock int
+	Work          int
+	FMAs          int
+	// LQCap is the per-SM ring capacity (power of two).
+	LQCap int
+}
+
+// DefaultUTSD mirrors DefaultUTS with per-SM queues.
+func DefaultUTSD(nodes int) UTSD {
+	return UTSD{
+		Seed:          0xC0FFEE,
+		Nodes:         nodes,
+		FrontierMin:   64,
+		Blocks:        15,
+		WarpsPerBlock: 8,
+		Work:          16,
+		FMAs:          4,
+		LQCap:         128,
+	}
+}
+
+// utsdProgram assembles the local-queue worker loop.
+func utsdProgram(work, fmas int) *isa.Program {
+	b := isa.NewBuilder("utsd")
+	main := b.NewLabel()
+	process := b.NewLabel()
+	noteDone := b.NewLabel()
+	lempty := b.NewLabel()
+	gempty := b.NewLabel()
+
+	// --- pop: local queue first ---
+	b.Bind(main)
+	lacq := b.Here()
+	b.AtomCAS(rOld, rLLockA, rZero, rOne, isa.Acquire)
+	b.BNE(rOld, rZero, lacq)
+	b.Ld(rLHead, rLHeadA, 0)
+	b.Ld(rLTail, rLTailA, 0)
+	b.BEQ(rLHead, rLTail, lempty)
+	b.And(rTmp, rLHead, rLQMask)
+	b.MulI(rTmp, rTmp, 8)
+	b.Add(rTmp, rLTasksB, rTmp)
+	b.Ld(rNode, rTmp, 0)
+	b.AddI(rLHead, rLHead, 1)
+	b.St(rLHeadA, 0, rLHead)
+	b.AtomExch(rOld, rLLockA, rZero, isa.Release)
+	b.Br(process)
+
+	// --- local empty: try the global queue ---
+	b.Bind(lempty)
+	b.AtomExch(rOld, rLLockA, rZero, isa.Release)
+	gacq := b.Here()
+	b.AtomCAS(rOld, rLockA, rZero, rOne, isa.Acquire)
+	b.BNE(rOld, rZero, gacq)
+	b.Ld(rHead, rHeadA, 0)
+	b.Ld(rTail, rTailA, 0)
+	b.BEQ(rHead, rTail, gempty)
+	b.MulI(rTmp, rHead, 8)
+	b.Add(rTmp, rTasksB, rTmp)
+	b.Ld(rNode, rTmp, 0)
+	b.AddI(rHead, rHead, 1)
+	b.St(rHeadA, 0, rHead)
+	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	b.Br(process)
+
+	// --- both empty: terminate once every node is processed ---
+	b.Bind(gempty)
+	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	b.Ld(rDone, rDoneA, 0)
+	b.BLT(rDone, rTotal, main)
+	b.Exit()
+
+	// --- process one node ---
+	b.Bind(process)
+	emitProcessNode(b, work, fmas)
+	b.BEQ(rCount, rZero, noteDone)
+
+	// --- push children: local ring while it has space ---
+	b.MovI(rI, 0)
+	placq := b.Here()
+	b.AtomCAS(rOld, rLLockA, rZero, rOne, isa.Acquire)
+	b.BNE(rOld, rZero, placq)
+	b.Ld(rLHead, rLHeadA, 0)
+	b.Ld(rLTail, rLTailA, 0)
+	plocLoop := b.Here()
+	plocDone := b.NewLabel()
+	b.BGE(rI, rCount, plocDone)
+	b.Sub(rTmp, rLTail, rLHead)
+	b.BGE(rTmp, rLQCap, plocDone) // ring full: overflow to global
+	b.And(rTmp, rLTail, rLQMask)
+	b.MulI(rTmp, rTmp, 8)
+	b.Add(rTmp, rLTasksB, rTmp)
+	b.Add(rTmp2, rCBase, rI)
+	b.St(rTmp, 0, rTmp2)
+	b.AddI(rLTail, rLTail, 1)
+	b.AddI(rI, rI, 1)
+	b.Br(plocLoop)
+	b.Bind(plocDone)
+	b.St(rLTailA, 0, rLTail)
+	b.AtomExch(rOld, rLLockA, rZero, isa.Release)
+	b.BGE(rI, rCount, noteDone)
+
+	// --- overflow remainder to the global queue ---
+	pgacq := b.Here()
+	b.AtomCAS(rOld, rLockA, rZero, rOne, isa.Acquire)
+	b.BNE(rOld, rZero, pgacq)
+	b.Ld(rTail, rTailA, 0)
+	pgLoop := b.Here()
+	pgDone := b.NewLabel()
+	b.BGE(rI, rCount, pgDone)
+	b.MulI(rTmp, rTail, 8)
+	b.Add(rTmp, rTasksB, rTmp)
+	b.Add(rTmp2, rCBase, rI)
+	b.St(rTmp, 0, rTmp2)
+	b.AddI(rTail, rTail, 1)
+	b.AddI(rI, rI, 1)
+	b.Br(pgLoop)
+	b.Bind(pgDone)
+	b.St(rTailA, 0, rTail)
+	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+
+	b.Bind(noteDone)
+	b.AtomAddNR(rDoneA, rOne, isa.Relaxed)
+	b.Br(main)
+	return b.MustBuild()
+}
+
+// Build initializes memory (frontier spread round-robin over the local
+// queues) and returns the kernel.
+func (u UTSD) Build(h *cpu.Host) (*gpu.Kernel, *Tree, Seeding, error) {
+	if u.Nodes < 1 || u.Blocks < 1 || u.WarpsPerBlock < 1 {
+		return nil, nil, Seeding{}, fmt.Errorf("workloads: invalid UTSD %+v", u)
+	}
+	if u.LQCap < 2 || u.LQCap&(u.LQCap-1) != 0 {
+		return nil, nil, Seeding{}, fmt.Errorf("workloads: UTSD LQCap %d must be a power of two", u.LQCap)
+	}
+	tree := GenTree(u.Seed, u.Nodes)
+	seed := tree.SeedFrontier(u.FrontierMin)
+	initTreeMemory(h, tree)
+
+	// Distribute the frontier round-robin across the local queues.
+	counts := make([]uint64, u.Blocks)
+	for i, n := range seed.Frontier {
+		q := i % u.Blocks
+		h.Write64(lqTasksBase(q)+counts[q]*8, n)
+		counts[q]++
+	}
+	for q := 0; q < u.Blocks; q++ {
+		h.Write64(lqLockAddr(q), 0)
+		h.Write64(lqHeadAddr(q), 0)
+		h.Write64(lqTailAddr(q), counts[q])
+	}
+	h.Write64(addrLock, 0)
+	h.Write64(addrHead, 0)
+	h.Write64(addrTail, 0)
+	h.Write64(addrDone, seed.HostProcessed)
+
+	total := uint64(tree.Nodes())
+	k := &gpu.Kernel{
+		Name:          "utsd",
+		Program:       utsdProgram(u.Work, u.FMAs),
+		Blocks:        u.Blocks,
+		WarpsPerBlock: u.WarpsPerBlock,
+		InitRegs: func(block, warp int, regs *[isa.NumRegs]uint64) {
+			regs[rZero] = 0
+			regs[rOne] = 1
+			regs[rLockA] = addrLock
+			regs[rHeadA] = addrHead
+			regs[rTailA] = addrTail
+			regs[rDoneA] = addrDone
+			regs[rTasksB] = addrTasks
+			regs[rCCB] = addrChildCount
+			regs[rCBB] = addrChildBase
+			regs[rResB] = addrResult
+			regs[rTotal] = total
+			regs[rLLockA] = lqLockAddr(block)
+			regs[rLHeadA] = lqHeadAddr(block)
+			regs[rLTailA] = lqTailAddr(block)
+			regs[rLTasksB] = lqTasksBase(block)
+			regs[rLQMask] = uint64(u.LQCap - 1)
+			regs[rLQCap] = uint64(u.LQCap)
+		},
+	}
+	return k, tree, seed, nil
+}
+
+// VerifyUTSDRun checks post-run invariants: every node processed, every
+// queue (global and local) drained, and every result word exact.
+func VerifyUTSDRun(h *cpu.Host, tree *Tree, seed Seeding, u UTSD) error {
+	total := uint64(tree.Nodes())
+	if done := h.Read64(addrDone); done != total {
+		return fmt.Errorf("workloads: done=%d, want %d", done, total)
+	}
+	if head, tail := h.Read64(addrHead), h.Read64(addrTail); head != tail {
+		return fmt.Errorf("workloads: global queue not drained: head=%d tail=%d", head, tail)
+	}
+	for q := 0; q < u.Blocks; q++ {
+		head, tail := h.Read64(lqHeadAddr(q)), h.Read64(lqTailAddr(q))
+		if head != tail {
+			return fmt.Errorf("workloads: local queue %d not drained: head=%d tail=%d", q, head, tail)
+		}
+	}
+	return VerifyResults(h, tree, seed, u.Work, u.FMAs)
+}

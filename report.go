@@ -1,0 +1,202 @@
+package gsi
+
+import (
+	"fmt"
+	"strings"
+
+	"gsi/internal/core"
+	"gsi/internal/gpu"
+	"gsi/internal/stats"
+)
+
+// Report is the outcome of one simulation: GSI's aggregated stall counts
+// plus enough system statistics to sanity-check the run.
+type Report struct {
+	Workload string
+	Protocol string
+	// LocalMem names the local-memory organization for case-study-2
+	// workloads ("" otherwise).
+	LocalMem string
+	// Cycles is the kernel execution time in GPU cycles.
+	Cycles uint64
+	// Counts aggregates every SM's classified cycles; PerSM keeps the
+	// per-core profiles.
+	Counts core.Counts
+	PerSM  []core.Counts
+
+	// System-level statistics.
+	Net          NetStats
+	Mem          MemStats
+	InstrsIssued uint64
+
+	// Timeline is the rendered per-SM stall timeline (empty unless
+	// Options.Timeline was set).
+	Timeline string
+}
+
+// NetStats summarizes interconnect traffic.
+type NetStats struct {
+	Messages uint64
+	Hops     uint64
+}
+
+// MemStats summarizes memory-side event counts across GPU cores.
+type MemStats struct {
+	L1Hits, L1Misses, MSHRMerges uint64
+	MSHRFullEvents, SBFullEvents uint64
+	Flushes, ReleaseFlushes      uint64
+	FlushNoops                   uint64
+	WriteThroughs, OwnReqs       uint64
+	RemoteServed, Atomics        uint64
+	LocalAtomics                 uint64
+	MemRequests                  uint64
+}
+
+func newReport(workload string, opt Options, g *gpu.GPU, cycles uint64) *Report {
+	r := &Report{
+		Workload: workload,
+		Protocol: opt.Protocol.String(),
+		LocalMem: localMemOf(workload),
+		Cycles:   cycles,
+		Counts:   g.Insp.Aggregate(),
+		PerSM:    make([]core.Counts, g.Insp.NumSMs()),
+	}
+	for i := range r.PerSM {
+		r.PerSM[i] = *g.Insp.SM(i)
+	}
+	r.Net = NetStats{Messages: g.Sys.Mesh.Stats.Messages, Hops: g.Sys.Mesh.Stats.Hops}
+	for i := 0; i < g.Cfg.NumSMs; i++ {
+		s := g.Sys.Cores[i].Stats
+		r.Mem.L1Hits += s.Hits
+		r.Mem.L1Misses += s.Misses
+		r.Mem.MSHRMerges += s.Merges
+		r.Mem.MSHRFullEvents += s.MSHRFullEvents
+		r.Mem.SBFullEvents += s.SBFullEvents
+		r.Mem.Flushes += s.Flushes
+		r.Mem.ReleaseFlushes += s.ReleaseFlushes
+		r.Mem.FlushNoops += s.FlushNoops
+		r.Mem.WriteThroughs += s.WriteThroughs
+		r.Mem.OwnReqs += s.OwnReqs
+		r.Mem.RemoteServed += s.RemoteServed
+		r.Mem.Atomics += s.Atomics
+		r.Mem.LocalAtomics += s.LocalAtomics
+	}
+	r.Mem.MemRequests = g.Sys.Ctrl.Requests
+	for _, sm := range g.SMs {
+		r.InstrsIssued += sm.InstrsIssued
+	}
+	if g.Insp.Timeline != nil {
+		r.Timeline = g.Insp.Timeline.Render()
+	}
+	return r
+}
+
+// ExecBreakdown returns the execution-time breakdown (figure "a" of each
+// case study): total cycles across SMs by top-level stall kind.
+func (r *Report) ExecBreakdown() stats.Breakdown {
+	kinds := core.StallKinds()
+	labels := make([]string, len(kinds))
+	values := make([]float64, len(kinds))
+	for i, k := range kinds {
+		labels[i] = k.String()
+		values[i] = float64(r.Counts.Cycles[k])
+	}
+	return stats.NewBreakdown(r.barName(), labels, values)
+}
+
+// MemDataBreakdown returns the memory data stall sub-classification
+// (figure "b"): stall cycles by where the blocking load was serviced.
+func (r *Report) MemDataBreakdown() stats.Breakdown {
+	wheres := core.DataWheres()
+	labels := make([]string, len(wheres))
+	values := make([]float64, len(wheres))
+	for i, wh := range wheres {
+		labels[i] = wh.String()
+		values[i] = float64(r.Counts.MemData[wh])
+	}
+	// Unresolved in-flight loads were flushed to main memory by the
+	// Inspector; surface any "unknown" remainder there too.
+	values[len(values)-1] += float64(r.Counts.MemData[core.WhereUnknown])
+	return stats.NewBreakdown(r.barName(), labels, values)
+}
+
+// MemStructBreakdown returns the memory structural stall
+// sub-classification (figure "c"): stall cycles by blocking resource.
+func (r *Report) MemStructBreakdown() stats.Breakdown {
+	causes := core.StructCauses()
+	labels := make([]string, len(causes))
+	values := make([]float64, len(causes))
+	for i, c := range causes {
+		labels[i] = c.String()
+		values[i] = float64(r.Counts.MemStruct[c])
+	}
+	return stats.NewBreakdown(r.barName(), labels, values)
+}
+
+// CompDataBreakdown sub-classifies compute data stalls by the producing
+// pipeline (the paper's suggested extension for functional-unit studies).
+func (r *Report) CompDataBreakdown() stats.Breakdown {
+	units := core.CompUnits()
+	labels := make([]string, len(units))
+	values := make([]float64, len(units))
+	for i, u := range units {
+		labels[i] = u.String()
+		values[i] = float64(r.Counts.CompData[u])
+	}
+	return stats.NewBreakdown(r.barName(), labels, values)
+}
+
+// CompStructBreakdown sub-classifies compute structural stalls by the
+// contended pipeline.
+func (r *Report) CompStructBreakdown() stats.Breakdown {
+	units := core.CompUnits()
+	labels := make([]string, len(units))
+	values := make([]float64, len(units))
+	for i, u := range units {
+		labels[i] = u.String()
+		values[i] = float64(r.Counts.CompStruct[u])
+	}
+	return stats.NewBreakdown(r.barName(), labels, values)
+}
+
+// localMemOf extracts the organization from a case-study-2 workload name
+// like "implicit (stash)".
+func localMemOf(workload string) string {
+	if !strings.HasPrefix(workload, "implicit (") {
+		return ""
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(workload, "implicit ("), ")")
+}
+
+// barName labels this run's bar in grouped figures: case study 2 compares
+// local-memory organizations (all under DeNovo), case study 1 protocols.
+func (r *Report) barName() string {
+	if r.LocalMem != "" {
+		return r.LocalMem
+	}
+	return r.Protocol
+}
+
+// Summary renders a one-run overview: totals, the three breakdowns, and
+// key memory-system counters.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload: %s   protocol: %s   cycles: %d   instrs: %d\n",
+		r.Workload, r.Protocol, r.Cycles, r.InstrsIssued)
+	exec := stats.NewGroup("execution time breakdown (cycles across SMs)", r.ExecBreakdown().Labels)
+	exec.Add(r.ExecBreakdown())
+	sb.WriteString(exec.Table())
+	data := stats.NewGroup("memory data stalls by service location", r.MemDataBreakdown().Labels)
+	data.Add(r.MemDataBreakdown())
+	sb.WriteString(data.Table())
+	st := stats.NewGroup("memory structural stalls by cause", r.MemStructBreakdown().Labels)
+	st.Add(r.MemStructBreakdown())
+	sb.WriteString(st.Table())
+	fmt.Fprintf(&sb, "L1 hits %d  misses %d  merges %d  |  flushes %d (release %d, no-op lines %d)\n",
+		r.Mem.L1Hits, r.Mem.L1Misses, r.Mem.MSHRMerges,
+		r.Mem.Flushes, r.Mem.ReleaseFlushes, r.Mem.FlushNoops)
+	fmt.Fprintf(&sb, "write-throughs %d  ownership reqs %d  remote L1 served %d  atomics %d (%d local)  DRAM reqs %d\n",
+		r.Mem.WriteThroughs, r.Mem.OwnReqs, r.Mem.RemoteServed, r.Mem.Atomics, r.Mem.LocalAtomics, r.Mem.MemRequests)
+	fmt.Fprintf(&sb, "network: %d messages, %d hops\n", r.Net.Messages, r.Net.Hops)
+	return sb.String()
+}

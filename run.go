@@ -1,0 +1,134 @@
+package gsi
+
+import (
+	"fmt"
+
+	"gsi/internal/coherence"
+	"gsi/internal/core"
+	"gsi/internal/cpu"
+	"gsi/internal/gpu"
+	"gsi/internal/workloads"
+)
+
+// Workload is anything Run can execute: it initializes host memory,
+// supplies the kernel, and verifies the result afterwards.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Build writes initial memory through the host and returns the
+	// kernel plus a post-run functional check.
+	Build(h *cpu.Host) (*gpu.Kernel, func(h *cpu.Host) error, error)
+}
+
+// NewUTS wraps the unbalanced-tree-search workload (global queue) with
+// default sizing for the 15-SM system.
+func NewUTS(nodes int) Workload { return utsWorkload{p: workloads.DefaultUTS(nodes)} }
+
+// NewUTSWith uses explicit UTS parameters.
+func NewUTSWith(p UTS) Workload { return utsWorkload{p: p} }
+
+type utsWorkload struct{ p workloads.UTS }
+
+func (w utsWorkload) Name() string { return "UTS" }
+
+func (w utsWorkload) Build(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
+	k, tree, seed, err := w.p.Build(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	verify := func(h *cpu.Host) error {
+		return workloads.VerifyQueueRun(h, tree, seed, w.p.Work, w.p.FMAs)
+	}
+	return k, verify, nil
+}
+
+// NewUTSD wraps decentralized unbalanced tree search with default sizing.
+func NewUTSD(nodes int) Workload { return utsdWorkload{p: workloads.DefaultUTSD(nodes)} }
+
+// NewUTSDWith uses explicit UTSD parameters.
+func NewUTSDWith(p UTSD) Workload { return utsdWorkload{p: p} }
+
+type utsdWorkload struct{ p workloads.UTSD }
+
+func (w utsdWorkload) Name() string { return "UTSD" }
+
+func (w utsdWorkload) Build(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
+	k, tree, seed, err := w.p.Build(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	verify := func(h *cpu.Host) error {
+		return workloads.VerifyUTSDRun(h, tree, seed, w.p)
+	}
+	return k, verify, nil
+}
+
+// NewImplicit wraps the implicit microbenchmark in the given local-memory
+// organization with default sizing (one SM).
+func NewImplicit(kind LocalMem) Workload {
+	return implicitWorkload{p: workloads.DefaultImplicit(), kind: kind}
+}
+
+// NewImplicitWith uses explicit parameters.
+func NewImplicitWith(p Implicit, kind LocalMem) Workload {
+	return implicitWorkload{p: p, kind: kind}
+}
+
+type implicitWorkload struct {
+	p    workloads.Implicit
+	kind LocalMem
+}
+
+func (w implicitWorkload) Name() string { return "implicit (" + w.kind.String() + ")" }
+
+func (w implicitWorkload) Build(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
+	k, err := w.p.Build(w.kind, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	verify := func(h *cpu.Host) error { return w.p.VerifyImplicit(h) }
+	return k, verify, nil
+}
+
+// Run executes one workload under the given options and returns its GSI
+// report. The workload's functional post-check runs before the report is
+// returned: a timing bug that corrupts results fails loudly rather than
+// producing a plausible breakdown.
+func Run(opt Options, w Workload) (*Report, error) {
+	opt = opt.withDefaults()
+	if err := opt.System.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := gpu.New(opt.System, coherence.PoliciesFor(opt.System.NumSMs, opt.Protocol.policy()))
+	if err != nil {
+		return nil, err
+	}
+	g.Insp.StrongCycle = opt.StrongCycle
+	g.Insp.EagerAttribution = opt.EagerAttribution
+	if opt.Timeline {
+		g.Insp.Timeline = core.NewTimeline(opt.System.NumSMs, 96)
+	}
+	for _, cm := range g.Sys.Cores {
+		cm.SFIFO = opt.SFIFO
+		cm.OwnedAtomics = opt.OwnedAtomics
+	}
+
+	h := cpu.NewHost(g.Sys.Backing)
+	kernel, verify, err := w.Build(h)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: building %s: %w", w.Name(), err)
+	}
+	if err := g.Launch(kernel); err != nil {
+		return nil, err
+	}
+	cycles, err := g.Run()
+	if err != nil {
+		return nil, fmt.Errorf("gsi: running %s under %s: %w", w.Name(), opt.Protocol, err)
+	}
+	if !opt.SkipVerify {
+		if err := verify(h); err != nil {
+			return nil, fmt.Errorf("gsi: %s under %s failed verification: %w", w.Name(), opt.Protocol, err)
+		}
+	}
+	return newReport(w.Name(), opt, g, cycles), nil
+}
