@@ -1,15 +1,19 @@
 // Command gsi-experiments regenerates the paper's evaluation artifacts:
 // Table 5.1 (system parameters with measured latency ranges) and figures
-// 6.1 through 6.4 (stall breakdowns for both case studies).
+// 6.1 through 6.4 (stall breakdowns for both case studies). All requested
+// figures are batched through one worker pool; results are identical for
+// any -parallel value.
 //
 // Examples:
 //
-//	gsi-experiments                     # everything, default scale
+//	gsi-experiments                     # everything, default scale, all cores
 //	gsi-experiments -exp fig6.2         # one figure
 //	gsi-experiments -scale small -csv   # fast run, CSV output
+//	gsi-experiments -parallel 1 -json   # serial run, one JSON array
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +25,18 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "all | table5.1 | fig6.1 | fig6.2 | fig6.3 | fig6.4")
-		scale = flag.String("scale", "default", "default | small")
-		width = flag.Int("width", 64, "chart width")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables and charts")
+		exp      = flag.String("exp", "all", "all | table5.1 | fig6.1 | fig6.2 | fig6.3 | fig6.4")
+		scale    = flag.String("scale", "default", "default | small")
+		width    = flag.Int("width", 64, "chart width")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables and charts")
+		jsonOut  = flag.Bool("json", false, "emit all requested figures as one JSON array")
+		parallel = flag.Int("parallel", 0, "simulation workers (0 = all cores, 1 = serial)")
+		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	)
 	flag.Parse()
+	if *csv && *jsonOut {
+		fail("-csv and -json are mutually exclusive")
+	}
 
 	var sc gsi.Scale
 	switch strings.ToLower(*scale) {
@@ -42,61 +52,79 @@ func main() {
 	ran := false
 
 	if want("table5.1") {
-		ran = true
-		s, err := gsi.Table51(gsi.DefaultConfig())
-		if err != nil {
-			fail("table 5.1: %v", err)
+		if *jsonOut {
+			if *exp != "all" {
+				fail("table 5.1 has no JSON form")
+			}
+			// Don't let a figure-only document read as the full artifact
+			// set: say on stderr that the table was dropped.
+			fmt.Fprintln(os.Stderr, "gsi-experiments: note: table 5.1 has no JSON form; omitting it")
+		} else {
+			ran = true
+			s, err := gsi.Table51(gsi.DefaultConfig())
+			if err != nil {
+				fail("table 5.1: %v", err)
+			}
+			fmt.Println(s)
 		}
-		fmt.Println(s)
 	}
+
+	// Collect every requested figure as a spec, then run the whole batch
+	// through one pool so small figures fill the gaps behind big ones.
+	var specs []gsi.FigureSpec
 	if want("fig6.1") {
-		ran = true
-		fs, err := gsi.Figure61(sc)
-		if err != nil {
-			fail("%v", err)
-		}
-		render(fs, *width, *csv, fs.BaselineTotal())
+		specs = append(specs, gsi.Figure61Spec(sc))
 	}
 	if want("fig6.2") {
-		ran = true
-		fs, err := gsi.Figure62(sc)
-		if err != nil {
-			fail("%v", err)
-		}
-		render(fs, *width, *csv, fs.BaselineTotal())
+		specs = append(specs, gsi.Figure62Spec(sc))
 	}
 	if want("fig6.3") {
-		ran = true
-		fs, err := gsi.Figure63()
-		if err != nil {
-			fail("%v", err)
-		}
-		render(fs, *width, *csv, fs.BaselineTotal())
+		specs = append(specs, gsi.Figure63Spec())
 	}
 	if want("fig6.4") {
-		ran = true
-		sets, err := gsi.Figure64(sc)
+		specs = append(specs, gsi.Figure64Specs(sc)...)
+	}
+	if len(specs) == 0 && !ran {
+		fail("unknown experiment %q", *exp)
+	}
+	if len(specs) == 0 {
+		return
+	}
+
+	cfg := gsi.SweepConfig{Parallel: *parallel}
+	if !*quiet {
+		cfg.Progress = gsi.ProgressPrinter(os.Stderr)
+	}
+	sets, err := gsi.RunFigureSpecs(specs, cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *jsonOut {
+		// One array of figure documents — the same single-shape contract
+		// as gsi-run's -json, parseable by any JSON consumer in one read.
+		doc, err := json.MarshalIndent(sets, "", "  ")
 		if err != nil {
 			fail("%v", err)
 		}
-		base := gsi.Figure64Baseline(sets)
-		for _, fs := range sets {
-			render(fs, *width, *csv, base)
-		}
+		fmt.Printf("%s\n", doc)
+		return
 	}
-	if !ran {
-		fail("unknown experiment %q", *exp)
+	bases := gsi.RenderBases(specs, sets)
+	for i, fs := range sets {
+		render(fs, *width, *csv, bases[i])
 	}
 }
 
 func render(fs *gsi.FigureSet, width int, csv bool, base float64) {
-	if !csv {
+	switch {
+	case csv:
+		exec, data, structural := fs.NormalizedTo(base)
+		for _, g := range []*stats.Group{exec, data, structural} {
+			fmt.Printf("# %s\n%s", g.Title, g.CSV())
+		}
+	default:
 		fmt.Print(fs.RenderTo(width, base))
-		return
-	}
-	exec, data, structural := fs.NormalizedTo(base)
-	for _, g := range []*stats.Group{exec, data, structural} {
-		fmt.Printf("# %s\n%s", g.Title, g.CSV())
 	}
 }
 

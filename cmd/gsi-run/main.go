@@ -1,16 +1,22 @@
-// Command gsi-run executes one workload under one configuration and prints
-// its GSI stall profile.
+// Command gsi-run executes workloads under one or many configurations and
+// prints their GSI stall profiles. The -protocol, -local, and -mshr flags
+// accept comma-separated lists; supplying more than one value turns the
+// invocation into a cartesian sweep executed by the worker pool (results
+// are printed in grid order, identical for any -parallel value).
 //
 // Examples:
 //
 //	gsi-run -workload utsd -protocol denovo -nodes 1500
 //	gsi-run -workload implicit -local stash -mshr 256 -chart
+//	gsi-run -workload implicit -local scratchpad,dma,stash -mshr 32,64,128,256 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gsi"
@@ -20,65 +26,130 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "implicit", "uts | utsd | implicit")
-		protocol = flag.String("protocol", "denovo", "gpu | denovo")
-		local    = flag.String("local", "scratchpad", "implicit only: scratchpad | dma | stash")
+		protocol = flag.String("protocol", "denovo", "comma-separated: gpu | denovo")
+		local    = flag.String("local", "scratchpad", "implicit only, comma-separated: scratchpad | dma | stash")
 		nodes    = flag.Int("nodes", 1000, "tree size for uts/utsd")
 		sms      = flag.Int("sms", 0, "SM count override (default: 15 for uts/utsd, 1 for implicit)")
-		mshr     = flag.Int("mshr", 32, "MSHR (and store buffer) entries")
+		mshr     = flag.String("mshr", "32", "comma-separated MSHR (and store buffer) entries")
 		sfifo    = flag.Bool("sfifo", false, "enable the S-FIFO release ablation")
 		owned    = flag.Bool("owned-atomics", false, "enable the owned-atomics optimization (DeNovo)")
 		chart    = flag.Bool("chart", false, "print ASCII charts")
 		timeline = flag.Bool("timeline", false, "print the per-SM stall timeline")
+		jsonOut  = flag.Bool("json", false, "emit JSON reports instead of text summaries")
+		parallel = flag.Int("parallel", 0, "sweep workers (0 = all cores, 1 = serial)")
+		quiet    = flag.Bool("quiet", false, "suppress sweep progress on stderr")
 	)
 	flag.Parse()
-
-	opt := gsi.Options{System: gsi.DefaultConfig(), SFIFO: *sfifo,
-		OwnedAtomics: *owned, Timeline: *timeline}
-	switch strings.ToLower(*protocol) {
-	case "gpu", "gpucoherence", "gpu-coherence":
-		opt.Protocol = gsi.GPUCoherence
-	case "denovo":
-		opt.Protocol = gsi.DeNovo
-	default:
-		fail("unknown protocol %q", *protocol)
+	if *jsonOut && *chart {
+		fail("-chart and -json are mutually exclusive")
 	}
-	opt.System.MSHREntries = *mshr
-	opt.System.StoreBufEntries = *mshr
 
-	var w gsi.Workload
-	switch strings.ToLower(*workload) {
-	case "uts":
-		w = gsi.NewUTS(*nodes)
-	case "utsd":
-		w = gsi.NewUTSD(*nodes)
-	case "implicit":
-		opt.System = gsi.ImplicitSystem(*mshr)
-		switch strings.ToLower(*local) {
-		case "scratchpad", "scratch":
-			w = gsi.NewImplicit(gsi.Scratchpad)
-		case "dma", "scratchpad+dma":
-			w = gsi.NewImplicit(gsi.ScratchpadDMA)
-		case "stash":
-			w = gsi.NewImplicit(gsi.Stash)
-		default:
-			fail("unknown local memory %q", *local)
+	protocols := parseProtocols(*protocol)
+	mshrs := parseInts(*mshr)
+	kind, implicit := parseWorkload(*workload)
+	localSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "local" {
+			localSet = true
 		}
-	default:
-		fail("unknown workload %q", *workload)
-	}
-	if *sms > 0 {
-		opt.System.NumSMs = *sms
+	})
+	var locals []gsi.LocalMem
+	if implicit {
+		locals = parseLocals(*local)
+	} else if localSet {
+		fail("-local applies to the implicit workload only")
 	}
 
-	rep, err := gsi.Run(opt, w)
+	grid := gsi.Grid{
+		Name:      "sweep",
+		Protocols: protocols,
+		MSHRSizes: mshrs,
+		LocalMems: locals,
+	}
+	if implicit {
+		grid.System = gsi.ImplicitSystem(mshrs[0])
+		grid.Workload = func(ax gsi.Axes) gsi.Workload { return gsi.NewImplicit(ax.LocalMem) }
+	} else {
+		n := *nodes
+		if kind == "uts" {
+			grid.Workload = func(gsi.Axes) gsi.Workload { return gsi.NewUTS(n) }
+		} else {
+			grid.Workload = func(gsi.Axes) gsi.Workload { return gsi.NewUTSD(n) }
+		}
+	}
+	sweep := grid.Sweep()
+	// Flags that apply uniformly to every grid point.
+	for i := range sweep.Jobs {
+		o := &sweep.Jobs[i].Options
+		o.SFIFO = *sfifo
+		o.OwnedAtomics = *owned
+		o.Timeline = *timeline
+		if *sms > 0 {
+			o.System.NumSMs = *sms
+		}
+	}
+
+	cfg := gsi.SweepConfig{Parallel: *parallel}
+	if !*quiet && len(sweep.Jobs) > 1 {
+		cfg.Progress = gsi.ProgressPrinter(os.Stderr)
+	}
+	results, err := sweep.Run(cfg)
+	sweepMode := len(results) > 1
+	emit := func(rs []gsi.SweepResult) {
+		if *jsonOut {
+			printJSON(rs)
+			return
+		}
+		for _, res := range rs {
+			if sweepMode {
+				fmt.Printf("### %s\n", res.Job.Label)
+			}
+			printReport(res.Report, *chart, *timeline)
+		}
+	}
+	if err != nil {
+		// The pool keeps running past a bad grid point; don't forfeit the
+		// completed simulations — print them, then report the failure.
+		var done []gsi.SweepResult
+		for _, res := range results {
+			if res.Err == nil {
+				done = append(done, res)
+			}
+		}
+		if len(done) > 0 {
+			emit(done)
+		}
+		fail("%v", err)
+	}
+	emit(results)
+}
+
+// printJSON emits an array of {label, report} objects — always an array,
+// even for one result, so scripted consumers see one shape regardless of
+// how many grid points a flag list expands to. The label disambiguates
+// grid points, e.g. MSHR sizes, that the report itself does not record.
+func printJSON(results []gsi.SweepResult) {
+	type labeled struct {
+		Label  string      `json:"label"`
+		Report *gsi.Report `json:"report"`
+	}
+	docs := make([]labeled, len(results))
+	for i, res := range results {
+		docs[i] = labeled{Label: res.Job.Label, Report: res.Report}
+	}
+	doc, err := json.MarshalIndent(docs, "", "  ")
 	if err != nil {
 		fail("%v", err)
 	}
+	fmt.Printf("%s\n", doc)
+}
+
+func printReport(rep *gsi.Report, chart, timeline bool) {
 	fmt.Print(rep.Summary())
-	if *timeline {
+	if timeline {
 		fmt.Print(rep.Timeline)
 	}
-	if *chart {
+	if chart {
 		for _, b := range []stats.Breakdown{
 			rep.ExecBreakdown(), rep.MemDataBreakdown(), rep.MemStructBreakdown(),
 		} {
@@ -87,6 +158,63 @@ func main() {
 			fmt.Print(g.Chart(64))
 		}
 	}
+}
+
+func parseWorkload(s string) (kind string, implicit bool) {
+	switch strings.ToLower(s) {
+	case "uts":
+		return "uts", false
+	case "utsd":
+		return "utsd", false
+	case "implicit":
+		return "implicit", true
+	}
+	fail("unknown workload %q", s)
+	return "", false
+}
+
+func parseProtocols(s string) []gsi.Protocol {
+	var out []gsi.Protocol
+	for _, f := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(f)) {
+		case "gpu", "gpucoherence", "gpu-coherence":
+			out = append(out, gsi.GPUCoherence)
+		case "denovo":
+			out = append(out, gsi.DeNovo)
+		default:
+			fail("unknown protocol %q", f)
+		}
+	}
+	return out
+}
+
+func parseLocals(s string) []gsi.LocalMem {
+	var out []gsi.LocalMem
+	for _, f := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(f)) {
+		case "scratchpad", "scratch":
+			out = append(out, gsi.Scratchpad)
+		case "dma", "scratchpad+dma":
+			out = append(out, gsi.ScratchpadDMA)
+		case "stash":
+			out = append(out, gsi.Stash)
+		default:
+			fail("unknown local memory %q", f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fail("bad MSHR size %q", f)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func fail(format string, args ...any) {

@@ -15,7 +15,9 @@ import (
 
 func main() {
 	sc := gsi.DefaultScale() // MSHR sizes 32, 64, 128, 256
-	sets, err := gsi.Figure64(sc)
+	// Batch all twelve runs through the worker pool (Parallel 0 = all
+	// cores); results are identical to the serial gsi.Figure64.
+	sets, err := gsi.RunFigureSpecs(gsi.Figure64Specs(sc), gsi.SweepConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,13 +12,13 @@ import (
 // stall sub-classification, (c) memory structural sub-classification),
 // with one bar per configuration.
 type FigureSet struct {
-	ID       string
-	Title    string
-	Baseline string // bar the paper normalizes to
-	Exec     *stats.Group
-	Data     *stats.Group
-	Struct   *stats.Group
-	Reports  []*Report
+	ID       string       `json:"id"`
+	Title    string       `json:"title"`
+	Baseline string       `json:"baseline"` // bar the paper normalizes to
+	Exec     *stats.Group `json:"exec"`
+	Data     *stats.Group `json:"data"`
+	Struct   *stats.Group `json:"struct"`
+	Reports  []*Report    `json:"reports"`
 }
 
 // add folds one run into the three groups.
@@ -107,38 +107,130 @@ func SmallScale() Scale {
 	return Scale{UTSNodes: 250, UTSDNodes: 250, FrontierMin: 60, MSHRSizes: []int{32, 256}}
 }
 
+// FigureSpec is one reproduced figure declared as a sweep: run the jobs,
+// fold each report into a FigureSet. The specs let the CLI batch every
+// requested figure through one worker pool; the FigureXX wrappers keep the
+// original serial API.
+type FigureSpec struct {
+	ID       string
+	Title    string
+	Baseline string
+	// BaselineGroup, when non-empty, names a shared-normalization group:
+	// every spec in the group renders against the baseline-bar total of
+	// the group's first set (figure 6.4 normalizes all MSHR sizes to the
+	// smallest size's scratchpad bar). Empty means self-normalized.
+	BaselineGroup string
+	Sweep         Sweep
+}
+
+// RenderBases returns the normalization denominator for each set produced
+// by RunFigureSpecs(specs, ...): the set's own baseline-bar total, or the
+// group leader's total for specs sharing a BaselineGroup. It is the single
+// source of the paper's normalization conventions for renderers.
+func RenderBases(specs []FigureSpec, sets []*FigureSet) []float64 {
+	bases := make([]float64, len(sets))
+	group := make(map[string]float64)
+	for i := range sets {
+		if i >= len(specs) || specs[i].BaselineGroup == "" {
+			bases[i] = sets[i].BaselineTotal()
+			continue
+		}
+		b, ok := group[specs[i].BaselineGroup]
+		if !ok {
+			b = sets[i].BaselineTotal()
+			group[specs[i].BaselineGroup] = b
+		}
+		bases[i] = b
+	}
+	return bases
+}
+
+// Run executes the spec's sweep under cfg and folds the reports, in job
+// order, into the FigureSet.
+func (sp FigureSpec) Run(cfg SweepConfig) (*FigureSet, error) {
+	sets, err := RunFigureSpecs([]FigureSpec{sp}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sets[0], nil
+}
+
+// RunFigureSpecs concatenates every spec's jobs into one batch, runs it
+// through the worker pool, and rebuilds one FigureSet per spec. Results
+// are identical to running each spec serially, for any parallelism.
+func RunFigureSpecs(specs []FigureSpec, cfg SweepConfig) ([]*FigureSet, error) {
+	var all Sweep
+	all.Name = "figures"
+	for _, sp := range specs {
+		for _, j := range sp.Sweep.Jobs {
+			// Keep the per-figure sweep name in the label so progress
+			// lines and job errors say which figure (and MSHR size) a
+			// repeated bar name like "stash" belongs to.
+			if sp.Sweep.Name != "" {
+				j.Label = sp.Sweep.Name + ": " + j.Label
+			}
+			all.Jobs = append(all.Jobs, j)
+		}
+	}
+	results, err := all.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*FigureSet, len(specs))
+	i := 0
+	for si, sp := range specs {
+		fs := &FigureSet{ID: sp.ID, Title: sp.Title, Baseline: sp.Baseline}
+		for range sp.Sweep.Jobs {
+			fs.add(results[i].Report)
+			i++
+		}
+		out[si] = fs
+	}
+	return out, nil
+}
+
+// Figure61Spec declares figure 6.1: UTS under GPU coherence vs DeNovo.
+func Figure61Spec(sc Scale) FigureSpec {
+	return FigureSpec{
+		ID: "6.1", Title: "UTS, GPU coherence vs DeNovo", Baseline: GPUCoherence.String(),
+		Sweep: Grid{
+			Name:      "figure 6.1",
+			Protocols: []Protocol{GPUCoherence, DeNovo},
+			Workload: func(ax Axes) Workload {
+				return NewUTSWith(UTS{Seed: 0xC0FFEE, Nodes: sc.UTSNodes, FrontierMin: sc.FrontierMin,
+					Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4})
+			},
+		}.Sweep(),
+	}
+}
+
 // Figure61 reproduces figure 6.1: UTS under GPU coherence vs DeNovo
 // (execution dominated by synchronization stalls; remote-L1 data stalls and
 // pending-release structural stalls appear under DeNovo).
 func Figure61(sc Scale) (*FigureSet, error) {
-	fs := &FigureSet{ID: "6.1", Title: "UTS, GPU coherence vs DeNovo", Baseline: GPUCoherence.String()}
-	for _, p := range []Protocol{GPUCoherence, DeNovo} {
-		u := UTS{Seed: 0xC0FFEE, Nodes: sc.UTSNodes, FrontierMin: sc.FrontierMin,
-			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4}
-		rep, err := Run(Options{Protocol: p}, NewUTSWith(u))
-		if err != nil {
-			return nil, fmt.Errorf("figure 6.1 (%s): %w", p, err)
-		}
-		fs.add(rep)
+	return Figure61Spec(sc).Run(SweepConfig{Parallel: 1})
+}
+
+// Figure62Spec declares figure 6.2: UTSD under both protocols.
+func Figure62Spec(sc Scale) FigureSpec {
+	return FigureSpec{
+		ID: "6.2", Title: "UTSD, GPU coherence vs DeNovo", Baseline: GPUCoherence.String(),
+		Sweep: Grid{
+			Name:      "figure 6.2",
+			Protocols: []Protocol{GPUCoherence, DeNovo},
+			Workload: func(ax Axes) Workload {
+				return NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: sc.UTSDNodes, FrontierMin: sc.FrontierMin,
+					Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
+			},
+		}.Sweep(),
 	}
-	return fs, nil
 }
 
 // Figure62 reproduces figure 6.2: UTSD under both protocols (DeNovo cuts
 // memory data stalls via the L2 component and memory structural stalls via
 // pending release).
 func Figure62(sc Scale) (*FigureSet, error) {
-	fs := &FigureSet{ID: "6.2", Title: "UTSD, GPU coherence vs DeNovo", Baseline: GPUCoherence.String()}
-	for _, p := range []Protocol{GPUCoherence, DeNovo} {
-		u := UTSD{Seed: 0xC0FFEE, Nodes: sc.UTSDNodes, FrontierMin: sc.FrontierMin,
-			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128}
-		rep, err := Run(Options{Protocol: p}, NewUTSDWith(u))
-		if err != nil {
-			return nil, fmt.Errorf("figure 6.2 (%s): %w", p, err)
-		}
-		fs.add(rep)
-	}
-	return fs, nil
+	return Figure62Spec(sc).Run(SweepConfig{Parallel: 1})
 }
 
 // ImplicitSystem returns the case-study-2 system: one SM with a 32-warp
@@ -160,42 +252,54 @@ func implicitSystem(mshr int) SystemConfig {
 	return cfg
 }
 
-// Figure63 reproduces figure 6.3: the implicit microbenchmark on baseline
+// Figure63Spec declares figure 6.3: the implicit microbenchmark on baseline
 // scratchpad, scratchpad+DMA, and stash (all under DeNovo, 32-entry MSHR).
-func Figure63() (*FigureSet, error) {
-	fs := &FigureSet{ID: "6.3", Title: "implicit microbenchmark, local-memory organizations",
-		Baseline: Scratchpad.String()}
-	for _, kind := range []LocalMem{Scratchpad, ScratchpadDMA, Stash} {
-		rep, err := Run(Options{System: implicitSystem(32), Protocol: DeNovo}, NewImplicit(kind))
-		if err != nil {
-			return nil, fmt.Errorf("figure 6.3 (%s): %w", kind, err)
-		}
-		fs.add(rep)
+func Figure63Spec() FigureSpec {
+	return FigureSpec{
+		ID: "6.3", Title: "implicit microbenchmark, local-memory organizations",
+		Baseline: Scratchpad.String(),
+		Sweep:    implicitGrid("figure 6.3", 32).Sweep(),
 	}
-	return fs, nil
+}
+
+// Figure63 reproduces figure 6.3 serially through its spec.
+func Figure63() (*FigureSet, error) {
+	return Figure63Spec().Run(SweepConfig{Parallel: 1})
+}
+
+// implicitGrid is the case-study-2 grid at one MSHR size: all three
+// local-memory organizations under DeNovo on the single-SM system.
+func implicitGrid(name string, mshr int) Grid {
+	return Grid{
+		Name:      name,
+		LocalMems: []LocalMem{Scratchpad, ScratchpadDMA, Stash},
+		System:    implicitSystem(mshr),
+		Workload:  func(ax Axes) Workload { return NewImplicit(ax.LocalMem) },
+	}
+}
+
+// Figure64Specs declares figure 6.4 (the MSHR sensitivity sweep) as one
+// spec per MSHR size: each FigureSet groups the three local-memory bars at
+// that size, the paper's presentation.
+func Figure64Specs(sc Scale) []FigureSpec {
+	specs := make([]FigureSpec, len(sc.MSHRSizes))
+	for i, mshr := range sc.MSHRSizes {
+		specs[i] = FigureSpec{
+			ID:            fmt.Sprintf("6.4[mshr=%d]", mshr),
+			Title:         fmt.Sprintf("implicit, %d-entry MSHR", mshr),
+			Baseline:      Scratchpad.String(),
+			BaselineGroup: "6.4",
+			Sweep:         implicitGrid(fmt.Sprintf("figure 6.4 (mshr=%d)", mshr), mshr).Sweep(),
+		}
+	}
+	return specs
 }
 
 // Figure64 reproduces figure 6.4: the MSHR sensitivity sweep. One FigureSet
 // per MSHR size; normalize every set with Figure64Baseline (baseline
 // scratchpad at the smallest MSHR), the paper's convention.
 func Figure64(sc Scale) ([]*FigureSet, error) {
-	var out []*FigureSet
-	for _, mshr := range sc.MSHRSizes {
-		fs := &FigureSet{
-			ID:       fmt.Sprintf("6.4[mshr=%d]", mshr),
-			Title:    fmt.Sprintf("implicit, %d-entry MSHR", mshr),
-			Baseline: Scratchpad.String(),
-		}
-		for _, kind := range []LocalMem{Scratchpad, ScratchpadDMA, Stash} {
-			rep, err := Run(Options{System: implicitSystem(mshr), Protocol: DeNovo}, NewImplicit(kind))
-			if err != nil {
-				return nil, fmt.Errorf("figure 6.4 (%s, mshr=%d): %w", kind, mshr, err)
-			}
-			fs.add(rep)
-		}
-		out = append(out, fs)
-	}
-	return out, nil
+	return RunFigureSpecs(Figure64Specs(sc), SweepConfig{Parallel: 1})
 }
 
 // Figure64Baseline returns the common denominator (baseline scratchpad,

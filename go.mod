@@ -1,0 +1,3 @@
+module gsi
+
+go 1.21

@@ -13,6 +13,13 @@
 //
 //	rep, err := gsi.Run(gsi.Options{Protocol: gsi.DeNovo}, gsi.NewUTSD(2000))
 //	fmt.Println(rep.ExecBreakdown().Chart(60))
+//
+// Batches of configurations run through the sweep layer: a Grid declares a
+// cartesian product of axes (protocol, MSHR size, local-memory kind,
+// ablations), expands to a Sweep, and Sweep.Run fans the jobs out across a
+// worker pool. Results return in job order and are byte-identical to a
+// serial run for any worker count. The paper's figures are declared as
+// FigureSpec sweeps; Report and FigureSet serialize to labeled JSON.
 package gsi
 
 import (

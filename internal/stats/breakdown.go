@@ -12,9 +12,9 @@ import (
 // Order is significant: it is the stacking order in charts and the column
 // order in CSV output.
 type Breakdown struct {
-	Name   string
-	Labels []string
-	Values []float64
+	Name   string    `json:"name"`
+	Labels []string  `json:"labels"`
+	Values []float64 `json:"values"`
 }
 
 // NewBreakdown builds a breakdown from parallel label/value slices.
@@ -72,9 +72,9 @@ func (b Breakdown) NormalizeTo(base float64) Breakdown {
 // configuration — exactly one sub-figure in the paper (e.g. fig 6.2a holds
 // "GPU coherence" and "DeNovo" execution-time breakdowns).
 type Group struct {
-	Title  string
-	Labels []string
-	Bars   []Breakdown
+	Title  string      `json:"title"`
+	Labels []string    `json:"labels"`
+	Bars   []Breakdown `json:"bars"`
 }
 
 // NewGroup builds a group; every added bar must use the group's labels.

@@ -1,0 +1,99 @@
+// Package sweep provides the ordered worker pool behind gsi's batch layer.
+//
+// Each gsi simulation is single-threaded and deterministic, so a batch of
+// independent simulations parallelizes trivially — the only thing a runner
+// must guarantee is that concurrency never leaks into the results. Map
+// enforces that by construction: workers share nothing but the index feed
+// and write their outputs into per-index slots, so the returned slice is in
+// submission order and identical for any worker count, including 1.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Result pairs one job's output with its submission index.
+type Result[T any] struct {
+	Index int
+	Value T
+	Err   error
+}
+
+// Workers normalizes a requested parallelism: n < 1 selects GOMAXPROCS
+// (use everything), anything else is returned unchanged.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the n results in index order. A worker panic is captured into
+// that job's Err rather than tearing down the pool, so one bad job cannot
+// lose the rest of a long batch.
+//
+// onDone, when non-nil, is invoked once per finished job in completion
+// order (not index order), serialized under a lock — safe for progress
+// meters that write to a terminal. It must not block for long: every
+// worker serializes through it.
+func Map[T any](workers, n int, fn func(i int) (T, error), onDone func(Result[T])) []Result[T] {
+	out := make([]Result[T], n)
+	if n == 0 {
+		return out
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var doneMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = run(i, fn)
+				if onDone != nil {
+					doneMu.Lock()
+					onDone(out[i])
+					doneMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// run executes one job, converting a panic into an error.
+func run[T any](i int, fn func(i int) (T, error)) (res Result[T]) {
+	res.Index = i
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+		}
+	}()
+	res.Value, res.Err = fn(i)
+	return res
+}
+
+// FirstError returns the error of the lowest-index failed result, or nil.
+// Serial and parallel runs of the same failing batch therefore report the
+// same error.
+func FirstError[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedForAnyWorkerCount(t *testing.T) {
+	const n = 100
+	fn := func(i int) (int, error) { return i * i, nil }
+	for _, workers := range []int{1, 2, 7, 16, n + 5} {
+		results := Map(workers, n, fn, nil)
+		if len(results) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(results), n)
+		}
+		for i, r := range results {
+			if r.Index != i || r.Value != i*i || r.Err != nil {
+				t.Fatalf("workers=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestMapRunsConcurrently(t *testing.T) {
+	// With enough workers, every job can be in flight at once: block each
+	// job until all have started. A serial pool would deadlock, so a pass
+	// proves real fan-out; the timeout path fails loudly instead.
+	const n = 8
+	var started atomic.Int32
+	release := make(chan struct{})
+	results := Map(n, n, func(i int) (int, error) {
+		if started.Add(1) == n {
+			close(release)
+		}
+		<-release
+		return i, nil
+	}, nil)
+	for i, r := range results {
+		if r.Value != i {
+			t.Fatalf("result %d = %d", i, r.Value)
+		}
+	}
+}
+
+func TestMapCapturesPanics(t *testing.T) {
+	results := Map(4, 6, func(i int) (string, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return fmt.Sprintf("job-%d", i), nil
+	}, nil)
+	for i, r := range results {
+		if i == 3 {
+			if r.Err == nil {
+				t.Fatal("panicking job reported no error")
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("job %d: %+v", i, r)
+		}
+	}
+}
+
+func TestMapOnDoneSerializedAndComplete(t *testing.T) {
+	const n = 40
+	seen := make(map[int]bool)
+	calls := 0
+	Map(8, n, func(i int) (int, error) { return i, nil }, func(r Result[int]) {
+		// onDone runs under the pool's lock; plain map/int mutation here
+		// is the point of the test under -race.
+		calls++
+		if seen[r.Index] {
+			t.Errorf("index %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+	})
+	if calls != n {
+		t.Fatalf("onDone called %d times, want %d", calls, n)
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if got := Map(4, 0, func(i int) (int, error) { return 0, nil }, nil); len(got) != 0 {
+		t.Fatalf("zero jobs produced %d results", len(got))
+	}
+}
+
+func TestFirstErrorLowestIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	results := Map(4, 10, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errA
+		case 2:
+			return 0, errB
+		}
+		return i, nil
+	}, nil)
+	if err := FirstError(results); !errors.Is(err, errB) {
+		t.Fatalf("FirstError = %v, want the index-2 error", err)
+	}
+	if FirstError(results[8:]) != nil {
+		t.Fatal("FirstError on clean tail not nil")
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}

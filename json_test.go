@@ -1,0 +1,161 @@
+package gsi
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gsi/internal/core"
+)
+
+// TestReportJSONRoundTrip: marshal -> unmarshal must reproduce the stall
+// profile and every derived breakdown exactly.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run(Options{System: implicitSystem(32), Protocol: DeNovo}, NewImplicit(ScratchpadDMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The profile must be labeled, not positional.
+	for _, label := range []string{`"memory structural"`, `"pending DMA"`, `"cycles"`} {
+		if !strings.Contains(string(doc), label) {
+			t.Errorf("JSON document missing label %s", label)
+		}
+	}
+	back, err := DecodeReport(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counts != rep.Counts {
+		t.Error("Counts changed across the round trip")
+	}
+	if back.Cycles != rep.Cycles || back.Workload != rep.Workload ||
+		back.Protocol != rep.Protocol || back.LocalMem != rep.LocalMem {
+		t.Error("report header changed across the round trip")
+	}
+	if back.Mem != rep.Mem || back.Net != rep.Net || back.InstrsIssued != rep.InstrsIssued {
+		t.Error("system statistics changed across the round trip")
+	}
+	if len(back.PerSM) != len(rep.PerSM) {
+		t.Fatalf("PerSM length %d, want %d", len(back.PerSM), len(rep.PerSM))
+	}
+	for i := range rep.PerSM {
+		if back.PerSM[i] != rep.PerSM[i] {
+			t.Errorf("PerSM[%d] changed across the round trip", i)
+		}
+	}
+	for _, pair := range [][2]interface{ Total() float64 }{
+		{back.ExecBreakdown(), rep.ExecBreakdown()},
+		{back.MemDataBreakdown(), rep.MemDataBreakdown()},
+		{back.MemStructBreakdown(), rep.MemStructBreakdown()},
+	} {
+		if pair[0].Total() != pair[1].Total() {
+			t.Error("derived breakdown total changed across the round trip")
+		}
+	}
+}
+
+// TestFigureSetJSONRoundTrip: a decoded figure renders byte-identically to
+// the original, so JSON documents are a faithful interchange format for
+// whole figures.
+func TestFigureSetJSONRoundTrip(t *testing.T) {
+	fs, err := Figure63()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := fs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFigureSet(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fs.Render(64), back.Render(64); a != b {
+		t.Fatalf("decoded figure renders differently:\n--- original ---\n%s\n--- decoded ---\n%s", a, b)
+	}
+	if len(back.Reports) != len(fs.Reports) {
+		t.Fatalf("%d reports, want %d", len(back.Reports), len(fs.Reports))
+	}
+	for i := range fs.Reports {
+		if back.Reports[i].Counts != fs.Reports[i].Counts {
+			t.Errorf("report %d Counts changed across the round trip", i)
+		}
+	}
+}
+
+// TestFigureSetDecodeRebuildsGroups: the decoder derives the sub-figure
+// groups from the reports, so a document whose serialized groups were
+// tampered with (or stripped) still decodes to a consistent figure.
+func TestFigureSetDecodeRebuildsGroups(t *testing.T) {
+	fs, err := Figure63()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := fs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &raw); err != nil {
+		t.Fatal(err)
+	}
+	delete(raw, "exec")
+	raw["data"] = json.RawMessage(`{"title":"tampered","labels":[],"bars":null}`)
+	tampered, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFigureSet(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fs.Render(64), back.Render(64); a != b {
+		t.Fatalf("tampered groups leaked into the decoded figure:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFigureSetDecodeRejectsUnusableDocuments: null or missing reports
+// must surface as decode errors, not later panics in figure methods.
+func TestFigureSetDecodeRejectsUnusableDocuments(t *testing.T) {
+	for _, doc := range []string{
+		`{"id":"x","reports":[null]}`,
+		`{"id":"x","reports":[]}`,
+		`{"id":"x"}`,
+	} {
+		if _, err := DecodeFigureSet([]byte(doc)); err == nil {
+			t.Errorf("document %s decoded without error", doc)
+		}
+	}
+}
+
+// TestCountsJSONRejectsUnknownLabels: the decoder must not silently drop
+// misspelled or stale bucket names.
+func TestCountsJSONRejectsUnknownLabels(t *testing.T) {
+	var c core.Counts
+	if err := json.Unmarshal([]byte(`{"cycles": {"no such kind": 3}}`), &c); err == nil {
+		t.Fatal("unknown stall kind accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"memStruct": {"pending release": 7}}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemStruct[core.StructPendingRelease] != 7 {
+		t.Error("labeled bucket not restored")
+	}
+}
+
+// TestCountsJSONOmitsZeroBuckets keeps documents compact: an empty profile
+// marshals to an empty object.
+func TestCountsJSONOmitsZeroBuckets(t *testing.T) {
+	var c core.Counts
+	doc, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(doc) != "{}" {
+		t.Errorf("zero Counts marshaled to %s, want {}", doc)
+	}
+}

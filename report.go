@@ -1,6 +1,7 @@
 package gsi
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -12,44 +13,50 @@ import (
 // Report is the outcome of one simulation: GSI's aggregated stall counts
 // plus enough system statistics to sanity-check the run.
 type Report struct {
-	Workload string
-	Protocol string
+	Workload string `json:"workload"`
+	Protocol string `json:"protocol"`
 	// LocalMem names the local-memory organization for case-study-2
 	// workloads ("" otherwise).
-	LocalMem string
+	LocalMem string `json:"localMem,omitempty"`
 	// Cycles is the kernel execution time in GPU cycles.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// Counts aggregates every SM's classified cycles; PerSM keeps the
 	// per-core profiles.
-	Counts core.Counts
-	PerSM  []core.Counts
+	Counts core.Counts   `json:"counts"`
+	PerSM  []core.Counts `json:"perSM"`
 
 	// System-level statistics.
-	Net          NetStats
-	Mem          MemStats
-	InstrsIssued uint64
+	Net          NetStats `json:"net"`
+	Mem          MemStats `json:"mem"`
+	InstrsIssued uint64   `json:"instrsIssued"`
 
 	// Timeline is the rendered per-SM stall timeline (empty unless
 	// Options.Timeline was set).
-	Timeline string
+	Timeline string `json:"timeline,omitempty"`
 }
 
 // NetStats summarizes interconnect traffic.
 type NetStats struct {
-	Messages uint64
-	Hops     uint64
+	Messages uint64 `json:"messages"`
+	Hops     uint64 `json:"hops"`
 }
 
 // MemStats summarizes memory-side event counts across GPU cores.
 type MemStats struct {
-	L1Hits, L1Misses, MSHRMerges uint64
-	MSHRFullEvents, SBFullEvents uint64
-	Flushes, ReleaseFlushes      uint64
-	FlushNoops                   uint64
-	WriteThroughs, OwnReqs       uint64
-	RemoteServed, Atomics        uint64
-	LocalAtomics                 uint64
-	MemRequests                  uint64
+	L1Hits         uint64 `json:"l1Hits"`
+	L1Misses       uint64 `json:"l1Misses"`
+	MSHRMerges     uint64 `json:"mshrMerges"`
+	MSHRFullEvents uint64 `json:"mshrFullEvents"`
+	SBFullEvents   uint64 `json:"sbFullEvents"`
+	Flushes        uint64 `json:"flushes"`
+	ReleaseFlushes uint64 `json:"releaseFlushes"`
+	FlushNoops     uint64 `json:"flushNoops"`
+	WriteThroughs  uint64 `json:"writeThroughs"`
+	OwnReqs        uint64 `json:"ownReqs"`
+	RemoteServed   uint64 `json:"remoteServed"`
+	Atomics        uint64 `json:"atomics"`
+	LocalAtomics   uint64 `json:"localAtomics"`
+	MemRequests    uint64 `json:"memRequests"`
 }
 
 func newReport(workload string, opt Options, g *gpu.GPU, cycles uint64) *Report {
@@ -175,6 +182,71 @@ func (r *Report) barName() string {
 		return r.LocalMem
 	}
 	return r.Protocol
+}
+
+// JSON encodes the report as an indented, machine-readable document.
+// Stall profiles appear as label-keyed maps (the figure labels), so the
+// output diffs cleanly and survives taxonomy reordering; DecodeReport
+// reverses it exactly.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// DecodeReport parses a document produced by Report.JSON.
+func DecodeReport(data []byte) (*Report, error) {
+	r := new(Report)
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("gsi: decoding report: %w", err)
+	}
+	return r, nil
+}
+
+// JSON encodes the whole figure — the three grouped sub-figures plus every
+// per-run report — as an indented document; DecodeFigureSet reverses it.
+// The groups are included so non-Go consumers can plot the stacked bars
+// without reimplementing the breakdown logic, but the reports are the
+// source of truth: decoding rebuilds the groups from them, so a document
+// whose groups disagree with its reports cannot smuggle the divergence in.
+func (fs *FigureSet) JSON() ([]byte, error) {
+	return json.MarshalIndent(fs, "", "  ")
+}
+
+// UnmarshalJSON decodes the header and reports, then rederives the three
+// sub-figure groups exactly as the figure was originally built.
+func (fs *FigureSet) UnmarshalJSON(data []byte) error {
+	var doc struct {
+		ID       string    `json:"id"`
+		Title    string    `json:"title"`
+		Baseline string    `json:"baseline"`
+		Reports  []*Report `json:"reports"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	// Reject documents the figure methods cannot operate on, rather than
+	// letting a truncated or hand-edited file panic the consumer later.
+	if len(doc.Reports) == 0 {
+		return fmt.Errorf("figure set %q has no reports", doc.ID)
+	}
+	for i, r := range doc.Reports {
+		if r == nil {
+			return fmt.Errorf("figure set %q: report %d is null", doc.ID, i)
+		}
+	}
+	*fs = FigureSet{ID: doc.ID, Title: doc.Title, Baseline: doc.Baseline}
+	for _, r := range doc.Reports {
+		fs.add(r)
+	}
+	return nil
+}
+
+// DecodeFigureSet parses a document produced by FigureSet.JSON.
+func DecodeFigureSet(data []byte) (*FigureSet, error) {
+	fs := new(FigureSet)
+	if err := json.Unmarshal(data, fs); err != nil {
+		return nil, fmt.Errorf("gsi: decoding figure set: %w", err)
+	}
+	return fs, nil
 }
 
 // Summary renders a one-run overview: totals, the three breakdowns, and

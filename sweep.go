@@ -1,0 +1,244 @@
+package gsi
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gsi/internal/sweep"
+)
+
+// Job is one simulation in a Sweep: a display label, the options to run
+// under, and a factory producing a fresh Workload. The factory (rather
+// than a Workload value) keeps jobs self-contained so concurrent workers
+// never share workload state.
+type Job struct {
+	Label    string
+	Options  Options
+	Workload func() Workload
+}
+
+// Sweep is an ordered batch of independent simulations — the unit the
+// batch runner executes. Build one by hand with Add, or expand a cartesian
+// Grid. Results always come back in job order, byte-identical to a serial
+// run, regardless of how many workers execute the batch.
+type Sweep struct {
+	Name string
+	Jobs []Job
+}
+
+// Add appends one job.
+func (s *Sweep) Add(label string, opt Options, w func() Workload) {
+	s.Jobs = append(s.Jobs, Job{Label: label, Options: opt, Workload: w})
+}
+
+// SweepResult is one job's outcome, in job order.
+type SweepResult struct {
+	Job    Job
+	Report *Report
+	Err    error
+}
+
+// SweepProgress is one completion event, delivered to SweepConfig.Progress
+// as jobs finish (completion order, serialized).
+type SweepProgress struct {
+	Done, Total int
+	Index       int
+	Label       string
+	Err         error
+}
+
+// SweepConfig configures a batch run.
+type SweepConfig struct {
+	// Parallel is the worker count: 1 runs serially, anything below 1
+	// selects GOMAXPROCS. Simulations are single-threaded and share
+	// nothing, so any value yields identical results.
+	Parallel int
+	// Progress, when non-nil, receives one event per finished job. Events
+	// arrive in completion order — use them for meters, not results.
+	Progress func(SweepProgress)
+}
+
+// ProgressPrinter returns a Progress callback that writes one
+// "[done/total] label (ok|FAILED)" line per finished job to w — the meter
+// both CLIs print to stderr.
+func ProgressPrinter(w io.Writer) func(SweepProgress) {
+	return func(p SweepProgress) {
+		status := "ok"
+		if p.Err != nil {
+			status = "FAILED"
+		}
+		fmt.Fprintf(w, "[%d/%d] %s (%s)\n", p.Done, p.Total, p.Label, status)
+	}
+}
+
+// Run executes every job and returns all results in job order. The
+// returned error is the lowest-index job error (nil if all succeeded);
+// results for the other jobs are still returned alongside it, so a batch
+// with one bad configuration does not forfeit the rest.
+func (s Sweep) Run(cfg SweepConfig) ([]SweepResult, error) {
+	total := len(s.Jobs)
+	var onDone func(sweep.Result[*Report])
+	if cfg.Progress != nil {
+		done := 0
+		onDone = func(r sweep.Result[*Report]) {
+			done++
+			cfg.Progress(SweepProgress{Done: done, Total: total,
+				Index: r.Index, Label: s.Jobs[r.Index].Label, Err: r.Err})
+		}
+	}
+	raw := sweep.Map(cfg.Parallel, total, func(i int) (rep *Report, err error) {
+		j := s.Jobs[i]
+		// Catch panics here, where the job label is known: the pool's own
+		// recovery backstop can only name a batch index.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%s: job %q panicked: %v", s.Name, j.Label, r)
+			}
+		}()
+		rep, err = Run(j.Options, j.Workload())
+		if err != nil {
+			return nil, fmt.Errorf("%s: job %q: %w", s.Name, j.Label, err)
+		}
+		return rep, nil
+	}, onDone)
+
+	out := make([]SweepResult, total)
+	for i, r := range raw {
+		out[i] = SweepResult{Job: s.Jobs[i], Report: r.Value, Err: r.Err}
+	}
+	return out, sweep.FirstError(raw)
+}
+
+// Axes is one point of a Grid's cartesian product. Fields for axes the
+// Grid leaves empty hold that axis's default (DeNovo, MSHR 0 = "keep the
+// system's size", Scratchpad, false).
+type Axes struct {
+	Protocol     Protocol
+	MSHR         int
+	LocalMem     LocalMem
+	SFIFO        bool
+	OwnedAtomics bool
+	StrongCycle  bool
+}
+
+// Grid declares a cartesian product of configuration axes — the
+// protocol × MSHR × local-memory × ablation grids the paper's case
+// studies sweep. Expand it with Sweep; jobs are emitted in row-major
+// order with the rightmost declared axis varying fastest (Protocols
+// outermost, StrongCycle innermost), so the order is deterministic and
+// matches the figures' bar order.
+type Grid struct {
+	// Name labels the resulting sweep.
+	Name string
+	// Axis values; an empty axis contributes a single default point and
+	// stays out of generated labels.
+	Protocols    []Protocol
+	MSHRSizes    []int
+	LocalMems    []LocalMem
+	SFIFO        []bool
+	OwnedAtomics []bool
+	StrongCycle  []bool
+	// System is the base configuration for every point (zero value means
+	// DefaultConfig). A non-zero Axes.MSHR overrides both MSHREntries and
+	// StoreBufEntries, the convention of the paper's figure 6.4 sweep.
+	System SystemConfig
+	// Workload builds the workload for one point; required.
+	Workload func(Axes) Workload
+	// Options, when non-nil, replaces the default mapping from a point to
+	// simulation options (use it to wire custom ablations).
+	Options func(Axes) Options
+	// Label, when non-nil, replaces the generated per-point label.
+	Label func(Axes) string
+}
+
+// Sweep expands the grid into a concrete job list.
+func (g Grid) Sweep() Sweep {
+	if g.Workload == nil {
+		panic("gsi: Grid.Workload is required")
+	}
+	s := Sweep{Name: g.Name}
+	protocols := g.Protocols
+	if len(protocols) == 0 {
+		protocols = []Protocol{DeNovo}
+	}
+	mshrs := g.MSHRSizes
+	if len(mshrs) == 0 {
+		mshrs = []int{0}
+	}
+	locals := g.LocalMems
+	if len(locals) == 0 {
+		locals = []LocalMem{Scratchpad}
+	}
+	bools := func(vs []bool) []bool {
+		if len(vs) == 0 {
+			return []bool{false}
+		}
+		return vs
+	}
+	for _, p := range protocols {
+		for _, m := range mshrs {
+			for _, lm := range locals {
+				for _, sf := range bools(g.SFIFO) {
+					for _, oa := range bools(g.OwnedAtomics) {
+						for _, sc := range bools(g.StrongCycle) {
+							ax := Axes{Protocol: p, MSHR: m, LocalMem: lm,
+								SFIFO: sf, OwnedAtomics: oa, StrongCycle: sc}
+							s.Add(g.label(ax), g.options(ax), workloadThunk(g.Workload, ax))
+						}
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// workloadThunk binds one grid point to its factory without capturing the
+// loop variables by reference.
+func workloadThunk(build func(Axes) Workload, ax Axes) func() Workload {
+	return func() Workload { return build(ax) }
+}
+
+func (g Grid) options(ax Axes) Options {
+	if g.Options != nil {
+		return g.Options(ax)
+	}
+	opt := Options{System: g.System, Protocol: ax.Protocol,
+		SFIFO: ax.SFIFO, OwnedAtomics: ax.OwnedAtomics, StrongCycle: ax.StrongCycle}
+	opt = opt.withDefaults()
+	if ax.MSHR > 0 {
+		opt.System.MSHREntries = ax.MSHR
+		opt.System.StoreBufEntries = ax.MSHR
+	}
+	return opt
+}
+
+// label names a point from the axes that actually vary in this grid.
+func (g Grid) label(ax Axes) string {
+	if g.Label != nil {
+		return g.Label(ax)
+	}
+	var parts []string
+	if len(g.Protocols) > 0 {
+		parts = append(parts, ax.Protocol.String())
+	}
+	if len(g.MSHRSizes) > 0 {
+		parts = append(parts, fmt.Sprintf("mshr=%d", ax.MSHR))
+	}
+	if len(g.LocalMems) > 0 {
+		parts = append(parts, ax.LocalMem.String())
+	}
+	flag := func(name string, axis []bool, v bool) {
+		if len(axis) > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%t", name, v))
+		}
+	}
+	flag("sfifo", g.SFIFO, ax.SFIFO)
+	flag("owned-atomics", g.OwnedAtomics, ax.OwnedAtomics)
+	flag("strong-cycle", g.StrongCycle, ax.StrongCycle)
+	if len(parts) == 0 {
+		return "default"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,252 @@
+package gsi
+
+import (
+	"strings"
+	"testing"
+)
+
+// determinismGrid is an 8-point grid over fast implicit-microbenchmark
+// configurations: 2 local memories x 2 MSHR sizes x 2 classifier
+// ablations.
+func determinismGrid() Grid {
+	return Grid{
+		Name:        "determinism",
+		MSHRSizes:   []int{16, 32},
+		LocalMems:   []LocalMem{Scratchpad, Stash},
+		StrongCycle: []bool{false, true},
+		System:      implicitSystem(32),
+		Workload:    func(ax Axes) Workload { return NewImplicit(ax.LocalMem) },
+	}
+}
+
+// renderAll is the byte-comparison surface: every report's full text
+// summary in job order.
+func renderAll(results []SweepResult) string {
+	var sb strings.Builder
+	for _, r := range results {
+		sb.WriteString("## ")
+		sb.WriteString(r.Job.Label)
+		sb.WriteString("\n")
+		sb.WriteString(r.Report.Summary())
+	}
+	return sb.String()
+}
+
+// TestSweepDeterminism is the engine's core guarantee: a parallel run is
+// byte-identical to the serial run — same Counts, same rendered reports —
+// because simulations share nothing and results are returned in job order.
+// Under -race this is also the concurrency-safety test for the pool.
+func TestSweepDeterminism(t *testing.T) {
+	s := determinismGrid().Sweep()
+	if len(s.Jobs) != 8 {
+		t.Fatalf("grid expanded to %d jobs, want 8", len(s.Jobs))
+	}
+	serial, err := s.Run(SweepConfig{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := s.Run(SweepConfig{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Report.Counts != parallel[i].Report.Counts {
+			t.Errorf("job %d (%s): Counts differ between serial and parallel runs",
+				i, serial[i].Job.Label)
+		}
+		if serial[i].Report.Cycles != parallel[i].Report.Cycles {
+			t.Errorf("job %d (%s): cycles %d (serial) vs %d (parallel)",
+				i, serial[i].Job.Label, serial[i].Report.Cycles, parallel[i].Report.Cycles)
+		}
+	}
+	if a, b := renderAll(serial), renderAll(parallel); a != b {
+		t.Fatalf("rendered reports not byte-identical:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestFigureSpecsMatchSerialFigures pins the refactor: running the figure
+// specs through the batched pool reproduces exactly what the serial
+// FigureXX wrappers produce.
+func TestFigureSpecsMatchSerialFigures(t *testing.T) {
+	sc := testScale()
+	serial, err := Figure63()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Figure63Spec().Run(SweepConfig{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := serial.Render(64), pooled.Render(64); a != b {
+		t.Fatalf("figure 6.3 differs between serial and pooled runs:\n%s\nvs\n%s", a, b)
+	}
+
+	specs := Figure64Specs(sc)
+	sets, err := RunFigureSpecs(specs, SweepConfig{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Figure64(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != len(ref) {
+		t.Fatalf("%d sets, want %d", len(sets), len(ref))
+	}
+	base := Figure64Baseline(ref)
+	for i := range sets {
+		if a, b := ref[i].RenderTo(64, base), sets[i].RenderTo(64, Figure64Baseline(sets)); a != b {
+			t.Errorf("figure %s differs between serial and pooled runs", ref[i].ID)
+		}
+	}
+}
+
+func TestGridExpansionOrderAndLabels(t *testing.T) {
+	g := Grid{
+		Name:      "order",
+		Protocols: []Protocol{GPUCoherence, DeNovo},
+		MSHRSizes: []int{32, 64},
+		Workload:  func(Axes) Workload { return NewImplicit(Scratchpad) },
+	}
+	s := g.Sweep()
+	want := []string{
+		"GPU coherence mshr=32",
+		"GPU coherence mshr=64",
+		"DeNovo mshr=32",
+		"DeNovo mshr=64",
+	}
+	if len(s.Jobs) != len(want) {
+		t.Fatalf("%d jobs, want %d", len(s.Jobs), len(want))
+	}
+	for i, w := range want {
+		if s.Jobs[i].Label != w {
+			t.Errorf("job %d label %q, want %q", i, s.Jobs[i].Label, w)
+		}
+	}
+	// The MSHR axis must override both the MSHR and the store buffer,
+	// figure 6.4's convention.
+	if got := s.Jobs[1].Options.System.MSHREntries; got != 64 {
+		t.Errorf("job 1 MSHR = %d, want 64", got)
+	}
+	if got := s.Jobs[1].Options.System.StoreBufEntries; got != 64 {
+		t.Errorf("job 1 store buffer = %d, want 64", got)
+	}
+	if s.Jobs[2].Options.Protocol != DeNovo {
+		t.Error("job 2 protocol not DeNovo")
+	}
+}
+
+func TestGridDefaultsAndEmptyAxes(t *testing.T) {
+	g := Grid{Workload: func(Axes) Workload { return NewImplicit(Scratchpad) }}
+	s := g.Sweep()
+	if len(s.Jobs) != 1 {
+		t.Fatalf("empty grid expanded to %d jobs, want 1", len(s.Jobs))
+	}
+	j := s.Jobs[0]
+	if j.Label != "default" {
+		t.Errorf("label %q, want \"default\"", j.Label)
+	}
+	if j.Options.Protocol != DeNovo {
+		t.Error("default protocol not DeNovo")
+	}
+	if j.Options.System.NumSMs == 0 {
+		t.Error("zero System not defaulted")
+	}
+}
+
+// TestSweepErrorPolicy: a failing job yields the lowest-index error while
+// the healthy jobs still return reports, serial or parallel alike.
+func TestSweepErrorPolicy(t *testing.T) {
+	var s Sweep
+	s.Name = "errors"
+	bad := DefaultConfig()
+	bad.MSHREntries = 0 // fails validation
+	s.Add("ok-a", Options{System: implicitSystem(32), Protocol: DeNovo},
+		func() Workload { return NewImplicit(Scratchpad) })
+	s.Add("bad", Options{System: bad}, func() Workload { return NewImplicit(Scratchpad) })
+	s.Add("ok-b", Options{System: implicitSystem(32), Protocol: DeNovo},
+		func() Workload { return NewImplicit(Stash) })
+
+	for _, par := range []int{1, 4} {
+		results, err := s.Run(SweepConfig{Parallel: par})
+		if err == nil {
+			t.Fatalf("parallel=%d: no error from failing job", par)
+		}
+		if !strings.Contains(err.Error(), `"bad"`) {
+			t.Errorf("parallel=%d: error %q does not name the failing job", par, err)
+		}
+		if results[0].Report == nil || results[2].Report == nil {
+			t.Errorf("parallel=%d: healthy jobs lost their reports", par)
+		}
+		if results[1].Err == nil || results[1].Report != nil {
+			t.Errorf("parallel=%d: failing job result inconsistent: %+v", par, results[1])
+		}
+	}
+}
+
+// TestRunFigureSpecsProgressNamesFigure: batched figures repeat bar labels
+// ("stash" appears in 6.3 and every 6.4 size), so progress events and job
+// errors must carry the figure name.
+func TestRunFigureSpecsProgressNamesFigure(t *testing.T) {
+	var labels []string
+	_, err := RunFigureSpecs([]FigureSpec{Figure63Spec()},
+		SweepConfig{Parallel: 1, Progress: func(p SweepProgress) { labels = append(labels, p.Label) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if !strings.HasPrefix(l, "figure 6.3: ") {
+			t.Errorf("progress label %q does not name the figure", l)
+		}
+	}
+}
+
+// TestSweepPanicNamesJob: a panicking job surfaces as an error carrying
+// the sweep name and job label, not just a batch index.
+func TestSweepPanicNamesJob(t *testing.T) {
+	var s Sweep
+	s.Name = "panics"
+	s.Add("ok", Options{System: implicitSystem(32), Protocol: DeNovo},
+		func() Workload { return NewImplicit(Scratchpad) })
+	s.Add("exploder", Options{System: implicitSystem(32), Protocol: DeNovo},
+		func() Workload { panic("kaboom") })
+	results, err := s.Run(SweepConfig{Parallel: 2})
+	if err == nil {
+		t.Fatal("panicking job produced no error")
+	}
+	for _, want := range []string{"panics", `"exploder"`, "kaboom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("panic error %q missing %q", err, want)
+		}
+	}
+	if results[0].Report == nil {
+		t.Error("healthy job lost its report")
+	}
+}
+
+func TestSweepProgressEvents(t *testing.T) {
+	s := determinismGrid().Sweep()
+	var events []SweepProgress
+	_, err := s.Run(SweepConfig{Parallel: 4, Progress: func(p SweepProgress) {
+		events = append(events, p)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(s.Jobs) {
+		t.Fatalf("%d progress events, want %d", len(events), len(s.Jobs))
+	}
+	seen := make(map[int]bool)
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != len(s.Jobs) {
+			t.Errorf("event %d: done %d/%d, want %d/%d", i, e.Done, e.Total, i+1, len(s.Jobs))
+		}
+		if seen[e.Index] {
+			t.Errorf("index %d reported twice", e.Index)
+		}
+		seen[e.Index] = true
+		if e.Label != s.Jobs[e.Index].Label {
+			t.Errorf("event %d: label %q, want %q", i, e.Label, s.Jobs[e.Index].Label)
+		}
+	}
+}
