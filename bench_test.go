@@ -248,19 +248,49 @@ func BenchmarkInspectorObserve(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorCyclesPerSecond measures raw simulation throughput on
-// the implicit microbenchmark (cycles simulated per wall-clock second,
-// reported as cycles/op).
-func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
+// benchThroughput runs one workload repeatedly and reports simulated
+// cycles per iteration; b.N iterations over wall time give cycles/sec.
+func benchThroughput(b *testing.B, sys SystemConfig, dense bool, w Workload) {
+	sys.DenseTicking = dense
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		rep, err := Run(Options{System: implicitSystem(32), Protocol: DeNovo}, NewImplicit(Scratchpad))
+		rep, err := Run(Options{System: sys, Protocol: DeNovo}, w)
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles += rep.Cycles
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+}
+
+// BenchmarkSimulatorCyclesPerSecond measures raw simulation throughput on
+// the implicit microbenchmark (cycles simulated per wall-clock second,
+// reported as cycles/op) under the quiescence-aware scheduling core.
+func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
+	benchThroughput(b, implicitSystem(32), false, NewImplicit(Scratchpad))
+}
+
+// BenchmarkSimulatorCyclesPerSecondDense is the dense-loop reference for
+// BenchmarkSimulatorCyclesPerSecond: identical simulation, every component
+// ticked every cycle. The ratio of the two is the scheduling core's win.
+func BenchmarkSimulatorCyclesPerSecondDense(b *testing.B) {
+	benchThroughput(b, implicitSystem(32), true, NewImplicit(Scratchpad))
+}
+
+// BenchmarkUTSDThroughput measures throughput on the figure 6.2 workload
+// (15 SMs, DeNovo) under the quiescence-aware scheduling core.
+func BenchmarkUTSDThroughput(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), false,
+		NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
+			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128}))
+}
+
+// BenchmarkUTSDThroughputDense is the dense-loop reference for
+// BenchmarkUTSDThroughput.
+func BenchmarkUTSDThroughputDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), true,
+		NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
+			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128}))
 }
 
 // BenchmarkAblationOwnedAtomics quantifies the owned-atomics suggestion of

@@ -50,8 +50,13 @@ func Calibrate(cfg SystemConfig) (*Calibration, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The probes poke the core memory unit directly between engine runs,
+	// so there is no wake wiring; drive the system densely as one
+	// component (calibration runs are tiny).
 	eng := sim.NewEngine()
+	eng.SetDense(true)
 	eng.Register("mem", sim.TickFunc(sys.Tick))
+	last := eng.LastTick
 
 	cm0 := sys.Cores[0]
 	var fired bool
@@ -70,7 +75,7 @@ func Calibrate(cfg SystemConfig) (*Calibration, error) {
 	probe := func(addr uint64) (uint64, core.DataWhere, error) {
 		fired = false
 		start := eng.Cycle()
-		switch cm0.Load(addr, mem.Target{Kind: mem.TargetLoad, Load: 1}) {
+		switch cm0.Load(addr, mem.Target{Kind: mem.TargetLoad, Load: 1}, last()) {
 		case mem.LoadHit:
 			return uint64(cfg.L1HitLat), core.WhereL1, nil
 		case mem.LoadMSHRFull:
@@ -114,7 +119,7 @@ func Calibrate(cfg SystemConfig) (*Calibration, error) {
 	for owner := 1; owner < cfg.NumCores(); owner++ {
 		addr := uint64(owner)*lineSize + 0x5000_0000
 		cmO := sys.Cores[owner]
-		if out := cmO.Store(addr); out != mem.StoreOK {
+		if out := cmO.Store(addr, last()); out != mem.StoreOK {
 			return nil, fmt.Errorf("gsi: calibrate: store on idle core %d blocked (%d)", owner, out)
 		}
 		cmO.FlushAll()

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"gsi"
+	"gsi/internal/prof"
 	"gsi/internal/stats"
 )
 
@@ -32,11 +33,19 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit all requested figures as one JSON array")
 		parallel = flag.Int("parallel", 0, "simulation workers (0 = all cores, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+		dense    = flag.Bool("dense", false, "use the dense reference engine (tick every component every cycle)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *csv && *jsonOut {
 		fail("-csv and -json are mutually exclusive")
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProf()
 
 	var sc gsi.Scale
 	switch strings.ToLower(*scale) {
@@ -89,6 +98,13 @@ func main() {
 	}
 	if len(specs) == 0 {
 		return
+	}
+	if *dense {
+		for si := range specs {
+			for ji := range specs[si].Sweep.Jobs {
+				specs[si].Sweep.Jobs[ji].Options.System.DenseTicking = true
+			}
+		}
 	}
 
 	cfg := gsi.SweepConfig{Parallel: *parallel}

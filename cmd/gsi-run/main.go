@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"gsi"
+	"gsi/internal/prof"
 	"gsi/internal/stats"
 )
 
@@ -38,11 +39,19 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit JSON reports instead of text summaries")
 		parallel = flag.Int("parallel", 0, "sweep workers (0 = all cores, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress sweep progress on stderr")
+		dense    = flag.Bool("dense", false, "use the dense reference engine (tick every component every cycle)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *jsonOut && *chart {
 		fail("-chart and -json are mutually exclusive")
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProf()
 
 	protocols := parseProtocols(*protocol)
 	mshrs := parseInts(*mshr)
@@ -87,6 +96,7 @@ func main() {
 		if *sms > 0 {
 			o.System.NumSMs = *sms
 		}
+		o.System.DenseTicking = *dense
 	}
 
 	cfg := gsi.SweepConfig{Parallel: *parallel}

@@ -1,0 +1,98 @@
+package gsi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// denseSpecs returns every figure spec at small scale with the legacy dense
+// scheduling loop forced on each job. Jobs whose System is zero resolve to
+// DefaultConfig through withDefaults, so the switch must be applied to the
+// resolved config.
+func figureSpecsDense(dense bool) []FigureSpec {
+	sc := SmallScale()
+	specs := []FigureSpec{Figure61Spec(sc), Figure62Spec(sc), Figure63Spec()}
+	specs = append(specs, Figure64Specs(sc)...)
+	for si := range specs {
+		for ji := range specs[si].Sweep.Jobs {
+			o := &specs[si].Sweep.Jobs[ji].Options
+			*o = o.withDefaults()
+			o.System.DenseTicking = dense
+		}
+	}
+	return specs
+}
+
+// TestDenseAndQuiescentEnginesByteIdentical is the cross-engine determinism
+// contract: for every figure spec, the quiescence-aware scheduling core and
+// the dense reference loop must produce byte-identical reports — same
+// cycles, same stall counts, same memory statistics, same JSON.
+func TestDenseAndQuiescentEnginesByteIdentical(t *testing.T) {
+	quiescent, err := RunFigureSpecs(figureSpecsDense(false), SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := RunFigureSpecs(figureSpecsDense(true), SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quiescent) != len(dense) {
+		t.Fatalf("set counts differ: %d vs %d", len(quiescent), len(dense))
+	}
+	for i := range quiescent {
+		qj, err := quiescent[i].JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dj, err := dense[i].JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(qj, dj) {
+			qd, dd := diffLine(qj, dj)
+			t.Errorf("figure %s diverges between engines:\n quiescent: %s\n dense:     %s",
+				quiescent[i].ID, qd, dd)
+		}
+	}
+}
+
+// diffLine returns the first differing line of two documents.
+func diffLine(a, b []byte) (string, string) {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return string(al[i]), string(bl[i])
+		}
+	}
+	return "<prefix>", "<prefix>"
+}
+
+// TestEnginesIdenticalWithTimeline pins the bulk idle-advance path: with the
+// per-SM timeline enabled (the collector most sensitive to when idle cycles
+// are recorded), a 15-SM run whose SMs drain at different times must render
+// identically whether idle cycles were observed one at a time (dense) or
+// credited as one span at the end (quiescent).
+func TestEnginesIdenticalWithTimeline(t *testing.T) {
+	w := NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 120, FrontierMin: 40,
+		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
+	run := func(dense bool) *Report {
+		opt := Options{Protocol: DeNovo, Timeline: true}
+		opt.System = DefaultConfig()
+		opt.System.DenseTicking = dense
+		rep, err := Run(opt, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	q, d := run(false), run(true)
+	if q.Timeline != d.Timeline {
+		t.Errorf("timelines diverge:\n--- quiescent ---\n%s\n--- dense ---\n%s", q.Timeline, d.Timeline)
+	}
+	if q.Cycles != d.Cycles {
+		t.Errorf("cycles diverge: %d vs %d", q.Cycles, d.Cycles)
+	}
+	if q.Counts != d.Counts {
+		t.Errorf("counts diverge:\n%+v\nvs\n%+v", q.Counts, d.Counts)
+	}
+}

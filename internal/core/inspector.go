@@ -127,6 +127,18 @@ func (in *Inspector) RecordCycle(sm int, cc CycleClass) {
 	}
 }
 
+// RecordIdleSpan records n consecutive Idle cycles for an SM in one call.
+// It is the bulk-advance path for the quiescence-aware engine: a drained SM
+// stops ticking, and the skipped cycles are credited here at the end of the
+// run — producing exactly the counts (and timeline) a dense loop would have
+// accumulated by observing the SM idle one cycle at a time.
+func (in *Inspector) RecordIdleSpan(sm int, n uint64) {
+	in.perSM[sm].Cycles[Idle] += n
+	if in.Timeline != nil {
+		in.Timeline.RecordSpan(sm, Idle, n)
+	}
+}
+
 // unitOrALU defaults an unattributed compute stall to the ALU, the generic
 // pipeline.
 func unitOrALU(u CompUnit) CompUnit {

@@ -146,3 +146,35 @@ func TestCountsAdd(t *testing.T) {
 		t.Fatalf("Add result = %+v", a)
 	}
 }
+
+// TestRecordIdleSpanMatchesPerCycle: bulk idle crediting (the quiescent
+// engine's path for sleeping SMs) must produce the same counts and the
+// same rendered timeline as observing the idle cycles one at a time, even
+// though the bulk path records whole spans out of interleaving order.
+func TestRecordIdleSpanMatchesPerCycle(t *testing.T) {
+	perCycle, bulk := NewInspector(2), NewInspector(2)
+	perCycle.Timeline, bulk.Timeline = NewTimeline(2, 8), NewTimeline(2, 8)
+
+	for i := 0; i < 3; i++ {
+		perCycle.Observe(0, []WarpObs{{Kind: NoStall}})
+		bulk.Observe(0, []WarpObs{{Kind: NoStall}})
+	}
+	// SM0 drains after 3 cycles and idles 50 more; SM1 never runs a block.
+	for i := 0; i < 50; i++ {
+		perCycle.Observe(0, nil)
+	}
+	for i := 0; i < 53; i++ {
+		perCycle.Observe(1, nil)
+	}
+	bulk.RecordIdleSpan(0, 50)
+	bulk.RecordIdleSpan(1, 53)
+
+	for sm := 0; sm < 2; sm++ {
+		if *perCycle.SM(sm) != *bulk.SM(sm) {
+			t.Errorf("SM%d counts diverge:\n%+v\nvs\n%+v", sm, *perCycle.SM(sm), *bulk.SM(sm))
+		}
+	}
+	if p, b := perCycle.Timeline.Render(), bulk.Timeline.Render(); p != b {
+		t.Errorf("timelines diverge:\n--- per-cycle ---\n%s\n--- bulk ---\n%s", p, b)
+	}
+}

@@ -19,11 +19,11 @@ type Timeline struct {
 
 type timelineSM struct {
 	buckets []bucket
-	fill    uint64 // cycles recorded into the last bucket
+	pos     uint64 // cycles recorded so far for this SM
 }
 
 type bucket struct {
-	counts [NumStallKinds]uint32
+	counts [NumStallKinds]uint64
 }
 
 // NewTimeline returns a timeline for numSMs SMs with at most maxBuckets
@@ -39,22 +39,44 @@ func NewTimeline(numSMs, maxBuckets int) *Timeline {
 	}
 }
 
-// Record appends one classified cycle for an SM. Cycles must arrive in
-// order (one per simulation cycle), which is how the Inspector drives it.
-func (tl *Timeline) Record(sm int, kind StallKind) {
-	s := &tl.sms[sm]
-	if len(s.buckets) == 0 || s.fill == tl.bucketWidth {
-		if len(s.buckets) == tl.maxBuckets {
-			tl.rescale()
-		}
-		s.buckets = append(s.buckets, bucket{})
-		s.fill = 0
+// Record appends one classified cycle for an SM. Each SM's cycles must
+// arrive in per-SM order (one per simulation cycle), which is how the
+// Inspector drives it; SMs may progress at different rates, so a drained
+// SM's remaining idle cycles can be appended in bulk via RecordSpan without
+// changing the result.
+func (tl *Timeline) Record(sm int, kind StallKind) { tl.RecordSpan(sm, kind, 1) }
+
+// RecordSpan appends n consecutive cycles of one classification for an SM.
+// Buckets are aligned to absolute per-SM cycle index (bucket b covers
+// cycles [b*width, (b+1)*width)), so the final timeline depends only on
+// each SM's cycle sequence, not on how recording interleaves across SMs.
+func (tl *Timeline) RecordSpan(sm int, kind StallKind, n uint64) {
+	if n == 0 {
+		return
 	}
-	s.buckets[len(s.buckets)-1].counts[kind]++
-	s.fill++
+	s := &tl.sms[sm]
+	last := s.pos + n - 1
+	for last/tl.bucketWidth >= uint64(tl.maxBuckets) {
+		tl.rescale()
+	}
+	for s.pos <= last {
+		b := s.pos / tl.bucketWidth
+		for uint64(len(s.buckets)) <= b {
+			s.buckets = append(s.buckets, bucket{})
+		}
+		// Fill to the end of bucket b or the end of the span.
+		end := (b+1)*tl.bucketWidth - 1
+		if end > last {
+			end = last
+		}
+		s.buckets[b].counts[kind] += end - s.pos + 1
+		s.pos = end + 1
+	}
 }
 
-// rescale doubles the bucket width, merging adjacent buckets on every SM.
+// rescale doubles the bucket width, merging aligned bucket pairs on every
+// SM. Alignment to absolute cycle index is preserved, which is what makes
+// the timeline independent of recording order across SMs.
 func (tl *Timeline) rescale() {
 	for i := range tl.sms {
 		s := &tl.sms[i]
@@ -69,12 +91,6 @@ func (tl *Timeline) rescale() {
 			merged = append(merged, b)
 		}
 		s.buckets = merged
-		// The (possibly partial) last bucket absorbs future cycles up
-		// to the new width.
-		s.fill += tl.bucketWidth
-		if s.fill > 2*tl.bucketWidth {
-			s.fill = 2 * tl.bucketWidth
-		}
 	}
 	tl.bucketWidth *= 2
 }
@@ -125,7 +141,7 @@ func (tl *Timeline) Render() string {
 // the earlier kind in report order.
 func dominant(b *bucket) StallKind {
 	best := NoStall
-	var bestN uint32
+	var bestN uint64
 	for _, k := range StallKinds() {
 		if n := b.counts[k]; n > bestN {
 			best, bestN = k, n

@@ -45,7 +45,7 @@ func TestTimelineRescales(t *testing.T) {
 		t.Fatalf("bucket width %d too small for %d cycles", tl.BucketWidth(), cycles)
 	}
 	// Total recorded cycles are conserved across rescales.
-	var total uint32
+	var total uint64
 	for _, b := range tl.sms[0].buckets {
 		for _, n := range b.counts {
 			total += n

@@ -89,24 +89,67 @@ func (g *GPU) Done() bool {
 	return g.kernel != nil && g.blocksDone == g.kernel.Blocks && g.Sys.Quiesced()
 }
 
-// Tick advances the device one GPU cycle: memory side first (mesh, memory
-// controller, banks, core units), then every SM.
-func (g *GPU) Tick(cycle uint64) {
-	g.Sys.Tick(cycle)
-	for _, sm := range g.SMs {
-		sm.Tick(cycle)
-	}
+// smSlot adapts one SM to the scheduling engine: when the SM goes idle
+// (block retired, nothing pending) the slot records the first skipped cycle
+// so the run's tail of idle cycles can be credited to the Inspector in one
+// bulk span — GSI still accounts a classification for every GPU cycle of
+// every SM, including the ones the engine never ticked.
+type smSlot struct {
+	sm *SM
+	// track enables sleep bookkeeping; the dense loop ticks the SM every
+	// cycle (observing Idle directly), so crediting again would double
+	// count.
+	track    bool
+	asleep   bool
+	idleFrom uint64
 }
 
+// Tick implements sim.Component.
+func (s *smSlot) Tick(cycle uint64) bool {
+	busy := s.sm.Tick(cycle)
+	if s.track && !busy && !s.asleep {
+		s.asleep = true
+		s.idleFrom = cycle + 1
+	}
+	return busy
+}
+
+// creditIdle folds the skipped [idleFrom, end) span into the Inspector as
+// Idle cycles, matching what a dense loop would have observed one cycle at
+// a time.
+func (s *smSlot) creditIdle(end uint64, insp *core.Inspector) {
+	if !s.asleep || end <= s.idleFrom {
+		return
+	}
+	insp.RecordIdleSpan(s.sm.id, end-s.idleFrom)
+}
+
+// Diagnose implements sim.Diagnoser for engine deadlock dumps.
+func (s *smSlot) Diagnose() string { return s.sm.Diagnose() }
+
 // Run drives the launched kernel to completion and returns the cycle
-// count. It resolves GSI's deferred attribution before returning.
+// count. Every component — mesh, memory controller, L2 banks, per-core
+// memory units, SMs — registers individually with a quiescence-aware
+// engine (or the dense reference loop when Cfg.DenseTicking is set), in
+// the same order the dense compound Tick evaluates them, so both loops
+// produce byte-identical results. It resolves GSI's deferred attribution
+// before returning.
 func (g *GPU) Run() (uint64, error) {
 	if g.kernel == nil {
 		return 0, fmt.Errorf("gpu: no kernel launched")
 	}
 	eng := sim.NewEngine()
-	eng.Register("gpu", sim.TickFunc(g.Tick))
+	eng.SetDense(g.Cfg.DenseTicking)
+	g.Sys.Attach(eng)
+	slots := make([]*smSlot, len(g.SMs))
+	for i, sm := range g.SMs {
+		slots[i] = &smSlot{sm: sm, track: !g.Cfg.DenseTicking}
+		eng.Register(fmt.Sprintf("sm%d", i), slots[i])
+	}
 	cycles, err := eng.Run(g.Done, g.Cfg.MaxCycles)
+	for _, s := range slots {
+		s.creditIdle(eng.Cycle(), g.Insp)
+	}
 	g.Insp.Flush()
 	return cycles, err
 }

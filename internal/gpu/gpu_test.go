@@ -4,6 +4,8 @@
 package gpu_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"gsi/internal/coherence"
@@ -415,5 +417,35 @@ func TestSchedulerFairness(t *testing.T) {
 	run(t, g, k) // a starved holder would hit MaxCycles and fail
 	if got := g.Sys.Backing.Load64(res); got != 200 {
 		t.Fatalf("holder result = %d, want 200", got)
+	}
+}
+
+// TestWatchdogDumpsDiagnosis: an unbounded spin loop trips the engine
+// watchdog, and the error names the stuck components with their pending
+// work instead of just "max cycles exceeded".
+func TestWatchdogDumpsDiagnosis(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	top := b.Here()
+	b.Br(top)
+	b.Exit()
+	prog := b.MustBuild()
+
+	cfg := smallCfg(1)
+	cfg.MaxCycles = 2000
+	g, err := gpu.New(cfg, coherence.PoliciesFor(1, coherence.DeNovo{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Launch(&gpu.Kernel{Name: "spin", Program: prog, Blocks: 1, WarpsPerBlock: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Run()
+	if !errors.Is(err, sim.ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	for _, want := range []string{"sm0", "busy", "kernel=spin", "mesh", "memctrl"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnosis missing %q:\n%v", want, err)
+		}
 	}
 }

@@ -21,7 +21,6 @@ type LSU struct {
 	cur        *memOp
 	blockCause core.StructCause
 	busyUntil  uint64
-	cycle      uint64
 
 	tracks map[core.LoadID]*loadTrack
 	comps  []compEvent
@@ -118,13 +117,12 @@ func (l *LSU) CanAccept(cycle uint64) (ok bool, cause core.StructCause) {
 // unit immediately (the warp blocks on synchronization, not on the LSU).
 func (l *LSU) Accept(w *Warp, in isa.Instr, cycle uint64) {
 	l.Accepted++
-	l.cycle = cycle
 	if in.Op.Class() == isa.ClassAtomic {
 		l.sm.cm.Atomic(mem.AtomicOp{
 			Warp: w.idx, Rd: in.Rd, Addr: w.regs[in.Ra], AOp: in.Op,
 			B: w.regs[in.Rb], C: w.regs[in.Rc], Order: in.Order,
 			NoRet: in.NoRet,
-		})
+		}, cycle)
 		if !in.NoRet {
 			// The warp blocks on synchronization until the old
 			// value returns; fire-and-forget atomics keep going.
@@ -374,9 +372,9 @@ func (l *LSU) submit(cycle uint64) {
 		if req.isStore {
 			var out mem.StoreOutcome
 			if req.noL1 {
-				out = cm.StoreNoL1(req.global)
+				out = cm.StoreNoL1(req.global, cycle)
 			} else {
-				out = cm.Store(req.global)
+				out = cm.Store(req.global, cycle)
 			}
 			switch out {
 			case mem.StoreOK:
@@ -390,7 +388,7 @@ func (l *LSU) submit(cycle uint64) {
 			}
 		} else {
 			t := mem.Target{Kind: mem.TargetLoad, Load: op.curLoad, Aux: req.global, NoL1: req.noL1}
-			switch cm.Load(req.global, t) {
+			switch cm.Load(req.global, t, cycle) {
 			case mem.LoadHit:
 				l.LinesIssued++
 				l.comps = append(l.comps, compEvent{
@@ -412,9 +410,9 @@ func (l *LSU) submit(cycle uint64) {
 	l.blockCause = core.StructNone
 }
 
-// Tick retires due local completions and retries a blocked op.
-func (l *LSU) Tick(cycle uint64) {
-	l.cycle = cycle
+// Tick retires due local completions and retries a blocked op. It reports
+// whether the LSU still holds an op or pending completions.
+func (l *LSU) Tick(cycle uint64) bool {
 	if len(l.comps) > 0 {
 		n := 0
 		for _, e := range l.comps {
@@ -430,6 +428,7 @@ func (l *LSU) Tick(cycle uint64) {
 	if l.cur != nil && l.busyUntil <= cycle {
 		l.submit(cycle)
 	}
+	return !l.Idle()
 }
 
 // LoadFillDone routes a completed global fill for a warp load (called from

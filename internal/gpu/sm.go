@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"fmt"
+
 	"gsi/internal/core"
 	"gsi/internal/isa"
 	"gsi/internal/mem"
@@ -35,6 +37,12 @@ type SM struct {
 
 	obsBuf []core.WarpObs
 	order  []int
+	// orderValid caches order across cycles: the consideration order is a
+	// pure function of greedy, the warps' finished states, and lastIssue
+	// cycles, all of which change only when a warp issues (or a block
+	// starts) — so stall-heavy cycles reuse the previous order instead of
+	// re-sorting.
+	orderValid bool
 
 	// Stats.
 	InstrsIssued uint64
@@ -84,6 +92,7 @@ func (sm *SM) startBlock(k *Kernel, block int) {
 	sm.barrierArrived = 0
 	sm.finished = 0
 	sm.flushStarted = false
+	sm.orderValid = false
 	sm.cm.SelfInvalidate() // kernel launch has acquire semantics
 
 	sm.pad.Reset()
@@ -95,8 +104,12 @@ func (sm *SM) startBlock(k *Kernel, block int) {
 	}
 }
 
-// Tick advances the SM one cycle.
-func (sm *SM) Tick(cycle uint64) {
+// Tick advances the SM one cycle. It reports whether a block is still
+// resident: a drained SM observes one final Idle cycle and then sleeps, and
+// the GPU credits the remaining idle cycles in bulk at the end of the run
+// (an SM never re-acquires work mid-run — blocks are handed out by the SM's
+// own finishBlock — so going idle is permanent until the next launch).
+func (sm *SM) Tick(cycle uint64) bool {
 	if sm.localKind == LocalScratchDMA {
 		sm.dma.Tick(cycle)
 	}
@@ -105,6 +118,7 @@ func (sm *SM) Tick(cycle uint64) {
 	if sm.kernel != nil && sm.finished == len(sm.warps) {
 		sm.finishBlock(cycle)
 	}
+	return sm.kernel != nil
 }
 
 // issueStage classifies every active warp (issuing up to IssueWidth of
@@ -126,8 +140,13 @@ func (sm *SM) issueStage(cycle uint64) {
 }
 
 // schedOrder builds the warp consideration order: greedy warp first, the
-// rest sorted by last issue cycle (oldest first), then index.
+// rest sorted by last issue cycle (oldest first), then index. The order is
+// cached until an issue (or block start) changes one of its inputs.
 func (sm *SM) schedOrder() []int {
+	if sm.orderValid {
+		return sm.order
+	}
+	sm.orderValid = true
 	sm.order = sm.order[:0]
 	if g := sm.greedy; g < len(sm.warps) && sm.warps[g].state != warpFinished {
 		sm.order = append(sm.order, g)
@@ -191,6 +210,7 @@ func (sm *SM) considerWarp(w *Warp, cycle uint64) {
 				cond.Issued = true
 				sm.greedy = w.idx
 				w.lastIssue = cycle
+				sm.orderValid = false
 				sm.execute(w, in, cycle)
 			}
 		}
@@ -269,6 +289,28 @@ func (sm *SM) finishBlock(cycle uint64) {
 		sm.block = -1
 		sm.gpu.blockDone(sm)
 	}
+}
+
+// Diagnose summarizes warp scheduling state for engine deadlock dumps.
+func (sm *SM) Diagnose() string {
+	if sm.kernel == nil {
+		return "no block resident"
+	}
+	var ready, barrier, atomic, finished int
+	for _, w := range sm.warps {
+		switch w.state {
+		case warpReady:
+			ready++
+		case warpBarrier:
+			barrier++
+		case warpAtomic:
+			atomic++
+		case warpFinished:
+			finished++
+		}
+	}
+	return fmt.Sprintf("kernel=%s block=%d warps ready=%d barrier=%d atomic=%d finished=%d lsu-busy=%v %s",
+		sm.kernel.Name, sm.block, ready, barrier, atomic, finished, !sm.lsu.Idle(), sm.dma.Diagnose())
 }
 
 // onLoadDone dispatches fill completions to their unit.

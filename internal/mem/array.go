@@ -16,6 +16,8 @@ type Way struct {
 type Array struct {
 	lineSize uint64
 	sets     [][]Way
+	valid    int // valid lines across all sets (keeps Count and the
+	// empty-array fast path of InvalidateWhere O(1))
 }
 
 // NewArray builds an array of the given total size in bytes.
@@ -96,13 +98,21 @@ func (a *Array) Install(line uint64, cycle uint64) (w *Way, victim Way, evicted 
 		victim = *lru
 		evicted = true
 		target = lru
+	} else {
+		a.valid++
 	}
 	*target = Way{Line: line, State: LineValid, lastUse: cycle}
 	return target, victim, evicted
 }
 
-// InvalidateWhere clears every way for which keep returns false.
+// InvalidateWhere clears every way for which keep returns false. An empty
+// array returns immediately — acquire self-invalidations on a cold or
+// fully-invalidated L1 (the common case under GPU coherence, which keeps
+// nothing across acquires) cost nothing.
 func (a *Array) InvalidateWhere(keep func(w *Way) bool) {
+	if a.valid == 0 {
+		return
+	}
 	for s := range a.sets {
 		set := a.sets[s]
 		for i := range set {
@@ -111,6 +121,7 @@ func (a *Array) InvalidateWhere(keep func(w *Way) bool) {
 			}
 			if !keep(&set[i]) {
 				set[i] = Way{}
+				a.valid--
 			}
 		}
 	}
@@ -123,6 +134,7 @@ func (a *Array) Invalidate(line uint64) (Way, bool) {
 		if set[i].State != LineInvalid && set[i].Line == line {
 			old := set[i]
 			set[i] = Way{}
+			a.valid--
 			return old, true
 		}
 	}
@@ -130,14 +142,4 @@ func (a *Array) Invalidate(line uint64) (Way, bool) {
 }
 
 // Count returns the number of valid lines (tests and stats).
-func (a *Array) Count() int {
-	n := 0
-	for s := range a.sets {
-		for i := range a.sets[s] {
-			if a.sets[s][i].State != LineInvalid {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (a *Array) Count() int { return a.valid }

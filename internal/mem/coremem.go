@@ -131,7 +131,14 @@ type CoreMem struct {
 	out      outbox
 	bankTile func(line uint64) int
 	coreTile func(core int) int
-	cycle    uint64
+	wake     func()
+
+	// cycle is the unit's notion of "now", refreshed at every external
+	// entry point (Tick, Load, Store, Atomic, Deliver) from the caller's
+	// explicit cycle. Keeping it caller-supplied rather than tick-derived
+	// is what lets an otherwise-idle CoreMem skip cycles entirely without
+	// perturbing LRU timestamps or outbox send times.
+	cycle uint64
 
 	// OnLoadDone fires once per completed fill target.
 	OnLoadDone func(t Target, where core.DataWhere)
@@ -187,6 +194,27 @@ func NewCoreMem(cfg CoreMemConfig) *CoreMem {
 	}
 }
 
+// SetWaker installs the engine re-arm callback. Entry points that create
+// tick-serviced work (flush draining, release dispatch, local atomics,
+// outbound messages) call arm so a sleeping unit resumes ticking.
+func (c *CoreMem) SetWaker(wake func()) { c.wake = wake }
+
+// tickWork reports whether Tick has anything to do. Misses waiting on fills
+// and flushes waiting on acks are completed by Deliver, not Tick, so they
+// alone do not keep the unit ticking — except that a completed flush must
+// be noticed by Tick, so flushing counts as tick work throughout.
+func (c *CoreMem) tickWork() bool {
+	return c.flushing || len(c.flushQ) > 0 || len(c.releaseQ) > 0 ||
+		len(c.localAtomics) > 0 || c.out.pending() > 0
+}
+
+// arm re-activates the unit in the scheduling engine if it has tick work.
+func (c *CoreMem) arm() {
+	if c.wake != nil && c.tickWork() {
+		c.wake()
+	}
+}
+
 // Line returns addr's line base address.
 func (c *CoreMem) Line(addr uint64) uint64 { return addr &^ (c.lineSize - 1) }
 
@@ -204,8 +232,10 @@ func (c *CoreMem) ReleaseInProgress() bool { return c.flushing && c.flushRelease
 // Flushing reports any flush in progress.
 func (c *CoreMem) Flushing() bool { return c.flushing }
 
-// Load requests the line containing addr on behalf of target.
-func (c *CoreMem) Load(addr uint64, t Target) LoadOutcome {
+// Load requests the line containing addr on behalf of target, during cycle
+// now (the caller's current cycle).
+func (c *CoreMem) Load(addr uint64, t Target, now uint64) LoadOutcome {
+	c.cycle = now
 	line := c.Line(addr)
 	if c.array.Lookup(line, c.cycle) != nil {
 		c.Stats.Hits++
@@ -224,22 +254,27 @@ func (c *CoreMem) Load(addr uint64, t Target) LoadOutcome {
 	c.mshr[line] = &mshrEntry{primary: t}
 	c.out.send(c.cycle+1, c.bankTile(line), noc.PortL2,
 		ReadReq{Line: line, Requestor: c.coreID})
+	c.arm()
 	return LoadMiss
 }
 
-// Store enters addr's line into the write-combining store buffer. The
-// caller writes the value to the backing store itself (stores are
-// non-blocking). A full buffer triggers an automatic flush, per the paper:
-// the buffer "is flushed when it becomes full, at the end of a kernel, and
-// on a release operation".
-func (c *CoreMem) Store(addr uint64) StoreOutcome { return c.store(addr, true) }
+// Store enters addr's line into the write-combining store buffer during
+// cycle now. The caller writes the value to the backing store itself
+// (stores are non-blocking). A full buffer triggers an automatic flush, per
+// the paper: the buffer "is flushed when it becomes full, at the end of a
+// kernel, and on a release operation".
+func (c *CoreMem) Store(addr uint64, now uint64) StoreOutcome { return c.store(addr, true, now) }
 
 // StoreNoL1 is Store for stash writes: the dirty data lives in the stash,
 // so the store buffer tracks the line for flushing (ownership registration
 // under DeNovo) without installing it in the L1.
-func (c *CoreMem) StoreNoL1(addr uint64) StoreOutcome { return c.store(addr, false) }
+func (c *CoreMem) StoreNoL1(addr uint64, now uint64) StoreOutcome {
+	return c.store(addr, false, now)
+}
 
-func (c *CoreMem) store(addr uint64, installL1 bool) StoreOutcome {
+func (c *CoreMem) store(addr uint64, installL1 bool, now uint64) StoreOutcome {
+	c.cycle = now
+	defer c.arm()
 	if c.flushing {
 		if c.flushRelease && !c.SFIFO {
 			return StoreBlockedRelease
@@ -311,17 +346,21 @@ func (c *CoreMem) evict(victim Way) {
 	}
 }
 
-// Atomic sequences a warp atomic: release-ordered atomics wait behind a
-// store buffer flush; others go straight to the home bank. The warp is
-// expected to block (synchronization stall) until OnAtomicDone fires.
-func (c *CoreMem) Atomic(op AtomicOp) {
+// Atomic sequences a warp atomic during cycle now: release-ordered atomics
+// wait behind a store buffer flush; others go straight to the home bank.
+// The warp is expected to block (synchronization stall) until OnAtomicDone
+// fires.
+func (c *CoreMem) Atomic(op AtomicOp, now uint64) {
+	c.cycle = now
 	c.Stats.Atomics++
 	if op.Order.IsRelease() {
 		c.releaseQ = append(c.releaseQ, op)
 		c.startFlush(true)
+		c.arm()
 		return
 	}
 	c.sendAtomic(op)
+	c.arm()
 }
 
 // localAtomic is an owned-atomic executing at the L1 (short fixed latency).
@@ -367,7 +406,10 @@ func (c *CoreMem) SelfInvalidate() {
 }
 
 // FlushAll starts a kernel-end flush (release semantics, no atomic).
-func (c *CoreMem) FlushAll() { c.startFlush(true) }
+func (c *CoreMem) FlushAll() {
+	c.startFlush(true)
+	c.arm()
+}
 
 func (c *CoreMem) startFlush(release bool) {
 	if c.flushing {
@@ -386,8 +428,10 @@ func (c *CoreMem) startFlush(release bool) {
 }
 
 // Tick drains one flush line per cycle, dispatches release atomics once
-// their flush has completed, and sends due messages.
-func (c *CoreMem) Tick(cycle uint64) {
+// their flush has completed, and sends due messages. It reports whether
+// tick-serviced work remains; a unit waiting only on fills or atomic
+// responses sleeps and is re-armed by Deliver.
+func (c *CoreMem) Tick(cycle uint64) bool {
 	c.cycle = cycle
 	if c.flushing && len(c.flushQ) > 0 {
 		line := c.flushQ[0]
@@ -422,6 +466,7 @@ func (c *CoreMem) Tick(cycle uint64) {
 		c.localAtomics = c.localAtomics[:n]
 	}
 	c.out.tick(cycle)
+	return c.tickWork()
 }
 
 func (c *CoreMem) flushLine(line uint64) {
@@ -466,8 +511,14 @@ func (c *CoreMem) completeFlush(line uint64) {
 	}
 }
 
-// Deliver handles a mesh message addressed to this core.
-func (c *CoreMem) Deliver(payload any) {
+// Deliver handles a mesh message addressed to this core. now is the cycle
+// timings reference: the mesh delivers before cores tick within a cycle, so
+// the System passes the previous cycle — the unit's most recent tick
+// opportunity — keeping response times and LRU stamps identical to a dense
+// loop that ticked the unit every cycle.
+func (c *CoreMem) Deliver(payload any, now uint64) {
+	c.cycle = now
+	defer c.arm()
 	switch msg := payload.(type) {
 	case ReadResp:
 		c.fill(msg.Line, msg.Where)
@@ -561,6 +612,13 @@ func (c *CoreMem) fill(line uint64, where core.DataWhere) {
 func (c *CoreMem) Quiesced() bool {
 	return len(c.mshr) == 0 && !c.flushing && len(c.sb) == 0 &&
 		len(c.releaseQ) == 0 && c.inflightAtomics == 0 && c.out.pending() == 0
+}
+
+// Diagnose describes pending work for engine deadlock dumps.
+func (c *CoreMem) Diagnose() string {
+	return fmt.Sprintf("mshr=%d sb=%d flushQ=%d acks=%d relQ=%d atomics=%d out=%d",
+		len(c.mshr), len(c.sb), len(c.flushQ), len(c.acksWanted),
+		len(c.releaseQ), c.inflightAtomics, c.out.pending())
 }
 
 // SBLen reports current store buffer occupancy (tests).

@@ -31,6 +31,7 @@ type L2Bank struct {
 	inQ     []any
 	out     outbox
 	pending map[uint64]*l2Miss
+	wake    func()
 
 	// Stats.
 	Hits, Misses, Forwards, Atomics, OwnershipChanges uint64
@@ -65,12 +66,23 @@ func NewL2Bank(id, sizePerBank, assoc, lineSize int, accessLat int, backing *Bac
 	}
 }
 
+// SetWaker installs the engine re-arm callback; Deliver invokes it so an
+// idle bank resumes ticking when the mesh or the memory controller hands it
+// a message.
+func (b *L2Bank) SetWaker(wake func()) { b.wake = wake }
+
 // Deliver receives a message from the mesh; processing happens in Tick.
-func (b *L2Bank) Deliver(payload any) { b.inQ = append(b.inQ, payload) }
+func (b *L2Bank) Deliver(payload any) {
+	b.inQ = append(b.inQ, payload)
+	if b.wake != nil {
+		b.wake()
+	}
+}
 
 // Tick processes at most one queued message per occupancy period and
-// flushes due responses.
-func (b *L2Bank) Tick(cycle uint64) {
+// flushes due responses. It reports whether queued messages or undelivered
+// responses remain; in-flight memory fills re-arm the bank via Deliver.
+func (b *L2Bank) Tick(cycle uint64) bool {
 	if len(b.inQ) > 0 && cycle >= b.busyUntil {
 		m := b.inQ[0]
 		b.inQ[0] = nil
@@ -79,6 +91,7 @@ func (b *L2Bank) Tick(cycle uint64) {
 		b.process(m, cycle)
 	}
 	b.out.tick(cycle)
+	return len(b.inQ) > 0 || b.out.pending() > 0
 }
 
 func (b *L2Bank) process(m any, cycle uint64) {
@@ -254,4 +267,9 @@ func (b *L2Bank) Owner(line uint64) (int, bool) {
 // responses.
 func (b *L2Bank) Quiesced() bool {
 	return len(b.inQ) == 0 && len(b.pending) == 0 && b.out.pending() == 0
+}
+
+// Diagnose describes pending work for engine deadlock dumps.
+func (b *L2Bank) Diagnose() string {
+	return fmt.Sprintf("inq=%d fills=%d out=%d", len(b.inQ), len(b.pending), b.out.pending())
 }

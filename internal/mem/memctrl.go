@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // MemCtrl models main memory: a single controller with fixed access latency
 // and a cycles-per-request bandwidth limit. L2 banks enqueue fill requests
 // and receive a callback when the data is available.
@@ -10,6 +12,7 @@ type MemCtrl struct {
 
 	queue    []memReq
 	inflight []memReq // served, waiting for latency to elapse
+	wake     func()
 
 	// Stats.
 	Requests uint64
@@ -31,6 +34,10 @@ func NewMemCtrl(latency, perReq int) *MemCtrl {
 	return &MemCtrl{latency: uint64(latency), perReq: uint64(perReq)}
 }
 
+// SetWaker installs the engine re-arm callback; Request invokes it so an
+// idle controller resumes ticking when an L2 bank enqueues a fill.
+func (m *MemCtrl) SetWaker(wake func()) { m.wake = wake }
+
 // Request enqueues a line fill; done fires when the line arrives, during a
 // MemCtrl tick at least latency cycles later.
 func (m *MemCtrl) Request(line uint64, done func(line uint64)) {
@@ -39,11 +46,15 @@ func (m *MemCtrl) Request(line uint64, done func(line uint64)) {
 	if len(m.queue) > m.MaxQueue {
 		m.MaxQueue = len(m.queue)
 	}
+	if m.wake != nil {
+		m.wake()
+	}
 }
 
 // Tick starts at most one queued request per perReq cycles and completes
-// any in-flight requests whose latency has elapsed.
-func (m *MemCtrl) Tick(cycle uint64) {
+// any in-flight requests whose latency has elapsed. It reports whether any
+// request remains queued or in flight.
+func (m *MemCtrl) Tick(cycle uint64) bool {
 	// Complete in order; inflight is sorted by readyAt because service
 	// starts are monotonic.
 	n := 0
@@ -64,7 +75,13 @@ func (m *MemCtrl) Tick(cycle uint64) {
 		m.inflight = append(m.inflight, r)
 		m.nextStart = cycle + m.perReq
 	}
+	return len(m.queue) > 0 || len(m.inflight) > 0
 }
 
 // Pending reports queued plus in-flight requests (for quiescence checks).
 func (m *MemCtrl) Pending() int { return len(m.queue) + len(m.inflight) }
+
+// Diagnose describes pending requests for engine deadlock dumps.
+func (m *MemCtrl) Diagnose() string {
+	return fmt.Sprintf("queued=%d inflight=%d served=%d", len(m.queue), len(m.inflight), m.Requests)
+}

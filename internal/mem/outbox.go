@@ -8,6 +8,7 @@ type outbox struct {
 	mesh *noc.Mesh
 	from int // tile index
 	q    []outMsg
+	next uint64 // earliest due time in q; tick is a no-op before it
 }
 
 type outMsg struct {
@@ -18,21 +19,33 @@ type outMsg struct {
 }
 
 func (o *outbox) send(at uint64, dst int, port noc.Port, payload any) {
+	if len(o.q) == 0 || at < o.next {
+		o.next = at
+	}
 	o.q = append(o.q, outMsg{at: at, dst: dst, port: port, payload: payload})
 }
 
-// tick injects every due message into the mesh.
+// tick injects every due message into the mesh. Nothing can be due before
+// next, so the scan is skipped entirely until then.
 func (o *outbox) tick(cycle uint64) {
+	if len(o.q) == 0 || cycle < o.next {
+		return
+	}
 	n := 0
+	var nextDue uint64
 	for _, m := range o.q {
 		if m.at <= cycle {
-			o.mesh.Send(o.from, m.dst, m.port, m.payload)
+			o.mesh.Send(cycle, o.from, m.dst, m.port, m.payload)
 		} else {
+			if n == 0 || m.at < nextDue {
+				nextDue = m.at
+			}
 			o.q[n] = m
 			n++
 		}
 	}
 	o.q = o.q[:n]
+	o.next = nextDue
 }
 
 func (o *outbox) pending() int { return len(o.q) }

@@ -16,7 +16,7 @@ func TestOwnedAtomicsLocalFastPath(t *testing.T) {
 	cm.OwnedAtomics = true
 
 	// First atomic: L2 round trip, but it registers ownership.
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1}, h.now())
 	h.quiesce()
 	if len(h.atoms) != 1 {
 		t.Fatalf("completions = %d", len(h.atoms))
@@ -32,7 +32,7 @@ func TestOwnedAtomicsLocalFastPath(t *testing.T) {
 	// Second atomic: served at the L1, no bank traffic.
 	banksBefore := bank.Atomics
 	startCycle := h.eng.Cycle()
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1}, h.now())
 	h.quiesce()
 	if len(h.atoms) != 2 {
 		t.Fatalf("completions = %d", len(h.atoms))
@@ -57,10 +57,10 @@ func TestOwnedAtomicsOwnershipMigrates(t *testing.T) {
 	a.OwnedAtomics = true
 	b.OwnedAtomics = true
 
-	a.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	a.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1}, h.now())
 	h.quiesce()
 	// B's atomic steals the registration; A loses the line.
-	b.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	b.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1}, h.now())
 	h.quiesce()
 	if a.LineStateOf(atomAddr) != mem.LineInvalid {
 		t.Fatal("previous atomic owner kept the line")
@@ -76,7 +76,7 @@ func TestOwnedAtomicsOwnershipMigrates(t *testing.T) {
 		t.Fatalf("value = %d, want 2 (lost update)", h.sys.Backing.Load64(atomAddr))
 	}
 	// A's next atomic goes remote again and steals back.
-	a.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1})
+	a.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 1}, h.now())
 	h.quiesce()
 	if h.sys.Backing.Load64(atomAddr) != 3 {
 		t.Fatalf("value = %d, want 3", h.sys.Backing.Load64(atomAddr))
@@ -90,7 +90,7 @@ func TestOwnedAtomicsAcquireKeepsOwnedLine(t *testing.T) {
 	h := newHarness(t, coherence.DeNovo{})
 	cm := h.sys.Cores[0]
 	cm.OwnedAtomics = true
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomCAS, B: 0, C: 1, Order: isa.Acquire})
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomCAS, B: 0, C: 1, Order: isa.Acquire}, h.now())
 	h.quiesce()
 	// The acquire's self-invalidation must not drop the just-granted
 	// owned line (that is the point of the optimization: the lock line
@@ -98,7 +98,7 @@ func TestOwnedAtomicsAcquireKeepsOwnedLine(t *testing.T) {
 	if cm.LineStateOf(atomAddr) != mem.LineOwned {
 		t.Fatal("acquire invalidated the granted line")
 	}
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomExch, B: 0, Order: isa.Acquire})
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomExch, B: 0, Order: isa.Acquire}, h.now())
 	h.quiesce()
 	if cm.Stats.LocalAtomics != 1 {
 		t.Fatalf("repeat acquire not local: LocalAtomics = %d", cm.Stats.LocalAtomics)
@@ -111,8 +111,8 @@ func TestOwnedAtomicsNoEffectUnderGPUCoherence(t *testing.T) {
 	h := newHarness(t, coherence.GPUCoherence{})
 	cm := h.sys.Cores[0]
 	cm.OwnedAtomics = true
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 5})
-	cm.Atomic(mem.AtomicOp{Warp: 1, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 5})
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 5}, h.now())
+	cm.Atomic(mem.AtomicOp{Warp: 1, Addr: atomAddr, AOp: isa.OpAtomAdd, B: 5}, h.now())
 	h.quiesce()
 	if cm.Stats.LocalAtomics != 0 {
 		t.Fatal("local atomics under a non-ownership protocol")

@@ -76,7 +76,7 @@ func NewSystem(cfg sim.Config, policies []Policy) (*System, error) {
 }
 
 // deliver is the mesh ejection handler.
-func (s *System) deliver(tile int, port noc.Port, payload any) {
+func (s *System) deliver(cycle uint64, tile int, port noc.Port, payload any) {
 	if port == noc.PortL2 {
 		s.Banks[tile%len(s.Banks)].Deliver(payload)
 		return
@@ -85,7 +85,17 @@ func (s *System) deliver(tile int, port noc.Port, payload any) {
 	if c < 0 {
 		panic(fmt.Sprintf("mem: message for core port of coreless tile %d", tile))
 	}
-	s.Cores[c].Deliver(payload)
+	// The mesh ticks before the cores within a cycle, so a delivered
+	// message finds the core as its previous tick left it; passing
+	// cycle-1 keeps the core's timestamps identical whether or not it
+	// actually ticked every intervening cycle. (No message can be in
+	// flight before cycle 1, so the subtraction cannot underflow in a
+	// driven system; guard anyway for robustness.)
+	now := cycle
+	if now > 0 {
+		now--
+	}
+	s.Cores[c].Deliver(payload, now)
 }
 
 // BankTile maps a line address to its home bank's tile (line interleaved).
@@ -96,17 +106,42 @@ func (s *System) BankTile(line uint64) int {
 // CoreTile maps a core id to its tile.
 func (s *System) CoreTile(core int) int { return s.coreTiles[core] }
 
+// Attach registers every memory-side unit with the scheduling engine, in
+// the same order a dense System.Tick evaluates them (mesh, controller,
+// banks, cores), and wires each unit's wake callback to its engine handle
+// so idle units stop ticking until a message, fill, or flush re-arms them.
+func (s *System) Attach(eng *sim.Engine) {
+	s.Mesh.SetWaker(eng.Register("mesh", s.Mesh).Wake)
+	s.Ctrl.SetWaker(eng.Register("memctrl", s.Ctrl).Wake)
+	for i, b := range s.Banks {
+		b.SetWaker(eng.Register(fmt.Sprintf("l2b%d", i), b).Wake)
+	}
+	for i, c := range s.Cores {
+		c.SetWaker(eng.Register(fmt.Sprintf("core%d", i), c).Wake)
+	}
+}
+
 // Tick advances the whole memory side one cycle: mesh delivery first, then
 // the memory controller, the banks, and the per-core units, in fixed order.
-func (s *System) Tick(cycle uint64) {
-	s.Mesh.Tick(cycle)
-	s.Ctrl.Tick(cycle)
+// It is the dense compound form of Attach's per-unit registration, kept for
+// calibration probes and tests that drive the system as a single component;
+// it reports whether any unit still has tick work.
+func (s *System) Tick(cycle uint64) bool {
+	busy := s.Mesh.Tick(cycle)
+	if s.Ctrl.Tick(cycle) {
+		busy = true
+	}
 	for _, b := range s.Banks {
-		b.Tick(cycle)
+		if b.Tick(cycle) {
+			busy = true
+		}
 	}
 	for _, c := range s.Cores {
-		c.Tick(cycle)
+		if c.Tick(cycle) {
+			busy = true
+		}
 	}
+	return busy
 }
 
 // Quiesced reports that no request, response, flush, or fill is in flight

@@ -45,6 +45,9 @@ func newHarness(t *testing.T, gpuPolicy mem.Policy) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{t: t, sys: sys, eng: sim.NewEngine()}
+	// The tests poke CoreMems directly between steps with no wake wiring,
+	// so drive the system densely as one compound component.
+	h.eng.SetDense(true)
 	h.eng.Register("mem", sim.TickFunc(sys.Tick))
 	for i, cm := range sys.Cores {
 		i := i
@@ -58,6 +61,10 @@ func newHarness(t *testing.T, gpuPolicy mem.Policy) *harness {
 	}
 	return h
 }
+
+// now is the cycle a component would have observed at its most recent tick
+// — the reference cycle for direct calls made between engine steps.
+func (h *harness) now() uint64 { return h.eng.LastTick() }
 
 func (h *harness) run(n uint64) {
 	for i := uint64(0); i < n; i++ {
@@ -85,7 +92,7 @@ const testLine = uint64(0x4_0000)
 func TestLoadMissServicedAtMemoryThenL2(t *testing.T) {
 	h := newHarness(t, coherence.GPUCoherence{})
 	cm := h.sys.Cores[0]
-	if out := cm.Load(testLine, mem.Target{Load: 1}); out != mem.LoadMiss {
+	if out := cm.Load(testLine, mem.Target{Load: 1}, h.now()); out != mem.LoadMiss {
 		t.Fatalf("first load outcome = %v", out)
 	}
 	h.quiesce()
@@ -93,12 +100,12 @@ func TestLoadMissServicedAtMemoryThenL2(t *testing.T) {
 		t.Fatalf("cold miss serviced at %s", ld.where)
 	}
 	// Now cached locally: hit.
-	if out := cm.Load(testLine, mem.Target{Load: 2}); out != mem.LoadHit {
+	if out := cm.Load(testLine, mem.Target{Load: 2}, h.now()); out != mem.LoadHit {
 		t.Fatalf("second load outcome = %v", out)
 	}
 	// After self-invalidation, the L2 still has it.
 	cm.SelfInvalidate()
-	if out := cm.Load(testLine, mem.Target{Load: 3}); out != mem.LoadMiss {
+	if out := cm.Load(testLine, mem.Target{Load: 3}, h.now()); out != mem.LoadMiss {
 		t.Fatalf("post-invalidate load outcome = %v", out)
 	}
 	h.quiesce()
@@ -110,10 +117,10 @@ func TestLoadMissServicedAtMemoryThenL2(t *testing.T) {
 func TestMSHRMergeChargedAsCoalescing(t *testing.T) {
 	h := newHarness(t, coherence.GPUCoherence{})
 	cm := h.sys.Cores[0]
-	if out := cm.Load(testLine, mem.Target{Load: 1}); out != mem.LoadMiss {
+	if out := cm.Load(testLine, mem.Target{Load: 1}, h.now()); out != mem.LoadMiss {
 		t.Fatal("expected miss")
 	}
-	if out := cm.Load(testLine+8, mem.Target{Load: 2}); out != mem.LoadMerged {
+	if out := cm.Load(testLine+8, mem.Target{Load: 2}, h.now()); out != mem.LoadMerged {
 		t.Fatalf("same-line load outcome = %v, want merge", out)
 	}
 	h.quiesce()
@@ -134,11 +141,11 @@ func TestMSHRCapacity(t *testing.T) {
 	cm := h.sys.Cores[0]
 	lineSize := uint64(h.sys.Cfg.LineSize)
 	for i := 0; i < h.sys.Cfg.MSHREntries; i++ {
-		if out := cm.Load(testLine+uint64(i)*lineSize, mem.Target{Load: core.LoadID(i + 1)}); out != mem.LoadMiss {
+		if out := cm.Load(testLine+uint64(i)*lineSize, mem.Target{Load: core.LoadID(i + 1)}, h.now()); out != mem.LoadMiss {
 			t.Fatalf("load %d outcome = %v", i, out)
 		}
 	}
-	if out := cm.Load(testLine+uint64(h.sys.Cfg.MSHREntries)*lineSize, mem.Target{Load: 999}); out != mem.LoadMSHRFull {
+	if out := cm.Load(testLine+uint64(h.sys.Cfg.MSHREntries)*lineSize, mem.Target{Load: 999}, h.now()); out != mem.LoadMSHRFull {
 		t.Fatalf("over-capacity load outcome = %v, want MSHR full", out)
 	}
 	if cm.MSHRFree() != 0 {
@@ -155,19 +162,19 @@ func TestStoreBufferWriteCombiningAndCapacity(t *testing.T) {
 	cm := h.sys.Cores[0]
 	lineSize := uint64(h.sys.Cfg.LineSize)
 	// Two stores to the same line use one entry.
-	if cm.Store(testLine) != mem.StoreOK || cm.Store(testLine+8) != mem.StoreOK {
+	if cm.Store(testLine, h.now()) != mem.StoreOK || cm.Store(testLine+8, h.now()) != mem.StoreOK {
 		t.Fatal("stores rejected")
 	}
 	if cm.SBLen() != 1 {
 		t.Fatalf("SBLen = %d, want 1 (write combining)", cm.SBLen())
 	}
 	for i := 1; i < h.sys.Cfg.StoreBufEntries; i++ {
-		if cm.Store(testLine+uint64(i)*lineSize) != mem.StoreOK {
+		if cm.Store(testLine+uint64(i)*lineSize, h.now()) != mem.StoreOK {
 			t.Fatalf("store %d rejected", i)
 		}
 	}
 	// Buffer full: the next store is refused and triggers a flush.
-	if out := cm.Store(testLine + uint64(64)*lineSize); out != mem.StoreSBFull {
+	if out := cm.Store(testLine+uint64(64)*lineSize, h.now()); out != mem.StoreSBFull {
 		t.Fatalf("over-capacity store outcome = %v", out)
 	}
 	if !cm.Flushing() {
@@ -182,13 +189,13 @@ func TestStoreBufferWriteCombiningAndCapacity(t *testing.T) {
 func TestReleaseBlocksStoresUntilFlushed(t *testing.T) {
 	h := newHarness(t, coherence.GPUCoherence{})
 	cm := h.sys.Cores[0]
-	cm.Store(testLine)
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: 0x9000, AOp: isa.OpAtomExch, B: 0, Order: isa.Release})
+	cm.Store(testLine, h.now())
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: 0x9000, AOp: isa.OpAtomExch, B: 0, Order: isa.Release}, h.now())
 	h.run(2)
 	if !cm.ReleaseInProgress() {
 		t.Fatal("release flush not in progress")
 	}
-	if out := cm.Store(testLine + 0x1000); out != mem.StoreBlockedRelease {
+	if out := cm.Store(testLine+0x1000, h.now()); out != mem.StoreBlockedRelease {
 		t.Fatalf("store during release = %v", out)
 	}
 	h.quiesce()
@@ -198,7 +205,7 @@ func TestReleaseBlocksStoresUntilFlushed(t *testing.T) {
 	if cm.ReleaseInProgress() {
 		t.Fatal("release still in progress after quiesce")
 	}
-	if out := cm.Store(testLine + 0x1000); out != mem.StoreOK {
+	if out := cm.Store(testLine+0x1000, h.now()); out != mem.StoreOK {
 		t.Fatalf("store after release = %v", out)
 	}
 }
@@ -207,13 +214,13 @@ func TestSFIFOAllowsStoresDuringRelease(t *testing.T) {
 	h := newHarness(t, coherence.GPUCoherence{})
 	cm := h.sys.Cores[0]
 	cm.SFIFO = true
-	cm.Store(testLine)
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: 0x9000, AOp: isa.OpAtomExch, Order: isa.Release})
+	cm.Store(testLine, h.now())
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: 0x9000, AOp: isa.OpAtomExch, Order: isa.Release}, h.now())
 	h.run(2)
 	if !cm.ReleaseInProgress() {
 		t.Fatal("release flush not in progress")
 	}
-	if out := cm.Store(testLine + 0x1000); out != mem.StoreOK {
+	if out := cm.Store(testLine+0x1000, h.now()); out != mem.StoreOK {
 		t.Fatalf("S-FIFO store during release = %v", out)
 	}
 	// The new entry is not covered by the in-flight release; a kernel-end
@@ -231,7 +238,7 @@ func TestSFIFOAllowsStoresDuringRelease(t *testing.T) {
 func TestGPUCoherenceFlushWritesThrough(t *testing.T) {
 	h := newHarness(t, coherence.GPUCoherence{})
 	cm := h.sys.Cores[0]
-	cm.Store(testLine)
+	cm.Store(testLine, h.now())
 	cm.FlushAll()
 	h.quiesce()
 	if cm.Stats.WriteThroughs != 1 || cm.Stats.OwnReqs != 0 {
@@ -250,7 +257,7 @@ func TestGPUCoherenceFlushWritesThrough(t *testing.T) {
 func TestDeNovoFlushRegistersOwnership(t *testing.T) {
 	h := newHarness(t, coherence.DeNovo{})
 	cm := h.sys.Cores[0]
-	cm.Store(testLine)
+	cm.Store(testLine, h.now())
 	cm.FlushAll()
 	h.quiesce()
 	if cm.Stats.OwnReqs != 1 || cm.Stats.WriteThroughs != 0 {
@@ -269,7 +276,7 @@ func TestDeNovoFlushRegistersOwnership(t *testing.T) {
 		t.Fatal("owned line did not survive acquire")
 	}
 	// Re-flushing an owned line is free (no message).
-	cm.Store(testLine)
+	cm.Store(testLine, h.now())
 	cm.FlushAll()
 	h.quiesce()
 	if cm.Stats.OwnReqs != 1 {
@@ -283,10 +290,10 @@ func TestDeNovoFlushRegistersOwnership(t *testing.T) {
 func TestDeNovoRemoteL1Forwarding(t *testing.T) {
 	h := newHarness(t, coherence.DeNovo{})
 	owner, reader := h.sys.Cores[1], h.sys.Cores[2]
-	owner.Store(testLine)
+	owner.Store(testLine, h.now())
 	owner.FlushAll()
 	h.quiesce()
-	if out := reader.Load(testLine, mem.Target{Load: 7}); out != mem.LoadMiss {
+	if out := reader.Load(testLine, mem.Target{Load: 7}, h.now()); out != mem.LoadMiss {
 		t.Fatalf("reader load outcome = %v", out)
 	}
 	h.quiesce()
@@ -306,10 +313,10 @@ func TestDeNovoRemoteL1Forwarding(t *testing.T) {
 func TestDeNovoOwnershipTransfer(t *testing.T) {
 	h := newHarness(t, coherence.DeNovo{})
 	a, b := h.sys.Cores[0], h.sys.Cores[1]
-	a.Store(testLine)
+	a.Store(testLine, h.now())
 	a.FlushAll()
 	h.quiesce()
-	b.Store(testLine)
+	b.Store(testLine, h.now())
 	b.FlushAll()
 	h.quiesce()
 	bank := h.sys.Banks[h.sys.BankTile(testLine)]
@@ -327,7 +334,7 @@ func TestDeNovoOwnershipTransfer(t *testing.T) {
 func TestDeNovoOwnedEvictionWritesBack(t *testing.T) {
 	h := newHarness(t, coherence.DeNovo{})
 	cm := h.sys.Cores[0]
-	cm.Store(testLine)
+	cm.Store(testLine, h.now())
 	cm.FlushAll()
 	h.quiesce()
 	// Fill the set until the owned line is evicted. Set count =
@@ -336,7 +343,7 @@ func TestDeNovoOwnedEvictionWritesBack(t *testing.T) {
 	cfg := h.sys.Cfg
 	setStride := uint64(cfg.L1Size / cfg.L1Assoc)
 	for i := 1; i <= cfg.L1Assoc; i++ {
-		cm.Load(testLine+uint64(i)*setStride, mem.Target{Load: core.LoadID(i)})
+		cm.Load(testLine+uint64(i)*setStride, mem.Target{Load: core.LoadID(i)}, h.now())
 		h.quiesce()
 	}
 	if cm.LineStateOf(testLine) != mem.LineInvalid {
@@ -350,7 +357,7 @@ func TestDeNovoOwnedEvictionWritesBack(t *testing.T) {
 		t.Fatal("directory still records evicted owner")
 	}
 	// A third core's read is now serviced at the L2, not forwarded.
-	h.sys.Cores[2].Load(testLine, mem.Target{Load: 99})
+	h.sys.Cores[2].Load(testLine, mem.Target{Load: 99}, h.now())
 	h.quiesce()
 	if ld := h.lastLoad(); ld.where != core.WhereL2 {
 		t.Fatalf("post-eviction read serviced at %s, want L2", ld.where)
@@ -361,7 +368,7 @@ func TestAtomicsExecuteAtL2(t *testing.T) {
 	h := newHarness(t, coherence.DeNovo{})
 	addr := uint64(0x8000)
 	h.sys.Backing.Store64(addr, 5)
-	h.sys.Cores[0].Atomic(mem.AtomicOp{Warp: 3, Rd: 9, Addr: addr, AOp: isa.OpAtomAdd, B: 2})
+	h.sys.Cores[0].Atomic(mem.AtomicOp{Warp: 3, Rd: 9, Addr: addr, AOp: isa.OpAtomAdd, B: 2}, h.now())
 	h.quiesce()
 	if len(h.atoms) != 1 {
 		t.Fatalf("atomic completions = %d", len(h.atoms))
@@ -382,12 +389,12 @@ func TestAtomicsExecuteAtL2(t *testing.T) {
 func TestAcquireAtomicSelfInvalidates(t *testing.T) {
 	h := newHarness(t, coherence.GPUCoherence{})
 	cm := h.sys.Cores[0]
-	cm.Load(testLine, mem.Target{Load: 1})
+	cm.Load(testLine, mem.Target{Load: 1}, h.now())
 	h.quiesce()
 	if cm.LineStateOf(testLine) != mem.LineValid {
 		t.Fatal("line not cached")
 	}
-	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: 0x8000, AOp: isa.OpAtomCAS, Order: isa.Acquire})
+	cm.Atomic(mem.AtomicOp{Warp: 0, Addr: 0x8000, AOp: isa.OpAtomCAS, Order: isa.Acquire}, h.now())
 	h.quiesce()
 	if cm.LineStateOf(testLine) != mem.LineInvalid {
 		t.Fatal("acquire atomic did not self-invalidate")
@@ -399,7 +406,7 @@ func TestQuiescence(t *testing.T) {
 	if !h.sys.Quiesced() {
 		t.Fatal("fresh system not quiesced")
 	}
-	h.sys.Cores[0].Load(testLine, mem.Target{Load: 1})
+	h.sys.Cores[0].Load(testLine, mem.Target{Load: 1}, h.now())
 	if h.sys.Quiesced() {
 		t.Fatal("system quiesced with a miss in flight")
 	}

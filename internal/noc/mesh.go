@@ -21,8 +21,9 @@ const (
 )
 
 // Handler receives delivered message payloads. Delivery happens during the
-// mesh tick, before cores and caches tick in the same cycle.
-type Handler func(tile int, port Port, payload any)
+// mesh tick of the given cycle, before cores and caches tick in the same
+// cycle (the mesh is registered first).
+type Handler func(cycle uint64, tile int, port Port, payload any)
 
 type msg struct {
 	dst     int
@@ -58,7 +59,8 @@ func (q *outQueue) popReady(cycle uint64) *msg {
 }
 
 type router struct {
-	out [numDirs]outQueue
+	out    [numDirs]outQueue
+	queued int // messages buffered across all output queues
 }
 
 // Mesh is a W x H mesh of routers with deterministic XY (X-first) routing.
@@ -68,7 +70,7 @@ type Mesh struct {
 	routerLat uint64
 	routers   []router
 	handler   Handler
-	cycle     uint64
+	wake      func()
 
 	// Stats counts traffic for network reporting.
 	Stats Stats
@@ -96,6 +98,11 @@ func New(w, h, linkLat, routerLat int, handler Handler) *Mesh {
 	}
 }
 
+// SetWaker installs the callback that re-arms the mesh in the scheduling
+// engine; Send invokes it so an idle mesh starts ticking again as soon as a
+// message is injected.
+func (m *Mesh) SetWaker(wake func()) { m.wake = wake }
+
 // Tiles returns the number of tiles.
 func (m *Mesh) Tiles() int { return m.w * m.h }
 
@@ -113,16 +120,19 @@ func abs(x int) int {
 	return x
 }
 
-// Send injects a message at tile src destined for (dst, port). It may be
-// called at any point during the cycle; the message becomes eligible to
-// move on the next mesh tick.
-func (m *Mesh) Send(src, dst int, port Port, payload any) {
+// Send injects a message at tile src destined for (dst, port) during the
+// given cycle. It may be called at any point within the cycle; the message
+// becomes eligible to move on the next mesh tick.
+func (m *Mesh) Send(cycle uint64, src, dst int, port Port, payload any) {
 	if src < 0 || src >= m.Tiles() || dst < 0 || dst >= m.Tiles() {
 		panic(fmt.Sprintf("noc: send %d->%d outside %d-tile mesh", src, dst, m.Tiles()))
 	}
 	m.Stats.Injected++
 	m.Stats.InFlight++
-	m.route(src, &msg{dst: dst, port: port, payload: payload, readyAt: m.cycle + m.routerLat})
+	m.route(src, &msg{dst: dst, port: port, payload: payload, readyAt: cycle + m.routerLat})
+	if m.wake != nil {
+		m.wake()
+	}
 }
 
 // route places a message in the proper output queue of tile's router.
@@ -142,6 +152,7 @@ func (m *Mesh) route(tile int, mg *msg) {
 		dir = dirNorth
 	}
 	m.routers[tile].out[dir].push(mg)
+	m.routers[tile].queued++
 }
 
 // neighbor returns the tile index one hop in dir from tile.
@@ -161,28 +172,41 @@ func (m *Mesh) neighbor(tile, dir int) int {
 
 // Tick advances every router by one cycle: each output port forwards at
 // most one ready message (link bandwidth), and each local port delivers at
-// most one ready message to its endpoint (ejection bandwidth).
-func (m *Mesh) Tick(cycle uint64) {
-	m.cycle = cycle
+// most one ready message to its endpoint (ejection bandwidth). It reports
+// whether any message remains buffered (the mesh sleeps otherwise).
+func (m *Mesh) Tick(cycle uint64) bool {
 	for i := range m.routers {
 		r := &m.routers[i]
+		if r.queued == 0 {
+			// Idle router: no queue can pop anything, skip the scan.
+			continue
+		}
 		for dir := 0; dir < dirLocal; dir++ {
 			mg := r.out[dir].popReady(cycle)
 			if mg == nil {
 				continue
 			}
+			r.queued--
 			mg.hops++
 			mg.readyAt = cycle + m.linkLat + m.routerLat
 			m.route(m.neighbor(i, dir), mg)
 		}
 		if mg := r.out[dirLocal].popReady(cycle); mg != nil {
+			r.queued--
 			m.Stats.Messages++
 			m.Stats.Hops += uint64(mg.hops)
 			m.Stats.InFlight--
-			m.handler(i, mg.port, mg.payload)
+			m.handler(cycle, i, mg.port, mg.payload)
 		}
 	}
+	return m.Stats.InFlight > 0
 }
 
 // Quiesced reports whether no messages are buffered anywhere in the mesh.
 func (m *Mesh) Quiesced() bool { return m.Stats.InFlight == 0 }
+
+// Diagnose describes pending traffic for engine deadlock dumps.
+func (m *Mesh) Diagnose() string {
+	return fmt.Sprintf("in-flight=%d injected=%d delivered=%d",
+		m.Stats.InFlight, m.Stats.Injected, m.Stats.Messages)
+}

@@ -15,21 +15,15 @@ type delivery struct {
 
 func testMesh(w, h int) (*Mesh, *[]delivery) {
 	var got []delivery
-	var cyc uint64
-	m := New(w, h, 1, 1, func(tile int, port Port, payload any) {
-		got = append(got, delivery{tile, port, payload, cyc})
+	m := New(w, h, 1, 1, func(cycle uint64, tile int, port Port, payload any) {
+		got = append(got, delivery{tile, port, payload, cycle})
 	})
-	_ = cyc
 	return m, &got
 }
 
 func runCycles(m *Mesh, got *[]delivery, from, n uint64) {
 	for c := from; c < from+n; c++ {
-		before := len(*got)
 		m.Tick(c)
-		for i := before; i < len(*got); i++ {
-			(*got)[i].cycle = c
-		}
 	}
 }
 
@@ -47,7 +41,7 @@ func TestMeshDistance(t *testing.T) {
 
 func TestMeshDeliveryAndLatency(t *testing.T) {
 	m, got := testMesh(4, 4)
-	m.Send(0, 0, PortL2, "local")
+	m.Send(0, 0, 0, PortL2, "local")
 	runCycles(m, got, 0, 5)
 	if len(*got) != 1 {
 		t.Fatalf("deliveries = %d, want 1", len(*got))
@@ -60,7 +54,7 @@ func TestMeshDeliveryAndLatency(t *testing.T) {
 
 	// A remote message takes longer, by roughly 2 cycles per hop.
 	*got = (*got)[:0]
-	m.Send(0, 15, PortCore, "far")
+	m.Send(5, 0, 15, PortCore, "far")
 	runCycles(m, got, 5, 40)
 	if len(*got) != 1 {
 		t.Fatalf("deliveries = %d, want 1", len(*got))
@@ -78,8 +72,8 @@ func TestMeshDeliveryAndLatency(t *testing.T) {
 func TestMeshXYOrderingPreserved(t *testing.T) {
 	// Two messages on the same path arrive in send order (link FIFOs).
 	m, got := testMesh(4, 4)
-	m.Send(0, 3, PortL2, 1)
-	m.Send(0, 3, PortL2, 2)
+	m.Send(0, 0, 3, PortL2, 1)
+	m.Send(0, 0, 3, PortL2, 2)
 	runCycles(m, got, 0, 30)
 	if len(*got) != 2 {
 		t.Fatalf("deliveries = %d, want 2", len(*got))
@@ -98,7 +92,7 @@ func TestMeshContentionSerializes(t *testing.T) {
 	m, got := testMesh(4, 4)
 	const n = 8
 	for i := 0; i < n; i++ {
-		m.Send(i%4, 5, PortL2, i)
+		m.Send(0, i%4, 5, PortL2, i)
 	}
 	runCycles(m, got, 0, 60)
 	if len(*got) != n {
@@ -115,7 +109,7 @@ func TestMeshStatsAndQuiesce(t *testing.T) {
 	if !m.Quiesced() {
 		t.Fatal("fresh mesh not quiesced")
 	}
-	m.Send(0, 3, PortCore, "x")
+	m.Send(0, 0, 3, PortCore, "x")
 	if m.Quiesced() {
 		t.Fatal("mesh quiesced with message in flight")
 	}
@@ -138,7 +132,7 @@ func TestMeshSendValidation(t *testing.T) {
 			t.Fatal("expected panic for out-of-range tile")
 		}
 	}()
-	m.Send(0, 9, PortL2, nil)
+	m.Send(0, 0, 9, PortL2, nil)
 }
 
 // TestMeshAllDelivered: every injected message is eventually delivered to
@@ -152,7 +146,7 @@ func TestMeshAllDelivered(t *testing.T) {
 		want := map[int]int{} // dst -> count
 		for i, p := range pairs {
 			src, dst := int(p)%16, int(p>>4)%16
-			m.Send(src, dst, PortL2, i)
+			m.Send(0, src, dst, PortL2, i)
 			want[dst]++
 		}
 		runCycles(m, got, 0, 600)

@@ -1,0 +1,49 @@
+// Package prof wires the standard pprof file profiles into the CLIs, so
+// engine hot spots can be measured before and after scheduler changes:
+//
+//	gsi-run -workload utsd -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile (cpuPath non-empty) and arranges a heap
+// profile snapshot (memPath non-empty). The returned stop function ends the
+// CPU profile and writes the heap profile; it must run before process exit,
+// so profiles are only produced on a command's success path.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -1,6 +1,8 @@
 package scratchpad
 
 import (
+	"fmt"
+
 	"gsi/internal/mem"
 	"gsi/internal/noc"
 )
@@ -68,7 +70,6 @@ type DMAEngine struct {
 	pendingIn  map[uint64]struct{}
 	nextOut    uint64
 	pendingOut map[uint64]struct{}
-	cycle      uint64
 
 	// Stats.
 	LinesIn, LinesOut uint64
@@ -120,18 +121,19 @@ func (d *DMAEngine) StartOut() {
 	d.nextOut = 0
 }
 
-// Tick issues at most one line transfer per cycle in either direction.
-func (d *DMAEngine) Tick(cycle uint64) {
-	d.cycle = cycle
+// Tick issues at most one line transfer per cycle in either direction. It
+// reports whether a transfer is still in progress.
+func (d *DMAEngine) Tick(cycle uint64) bool {
 	switch d.state {
 	case DMALoading:
-		d.tickIn()
+		d.tickIn(cycle)
 	case DMAWritingBack:
-		d.tickOut()
+		d.tickOut(cycle)
 	}
+	return d.state == DMALoading || d.state == DMAWritingBack
 }
 
-func (d *DMAEngine) tickIn() {
+func (d *DMAEngine) tickIn(cycle uint64) {
 	if d.nextIn >= d.mapping.Bytes {
 		if len(d.pendingIn) == 0 {
 			d.state = DMAReady
@@ -140,7 +142,7 @@ func (d *DMAEngine) tickIn() {
 	}
 	global := d.mapping.GlobalBase + d.nextIn
 	line := global &^ (d.lineSize - 1)
-	switch d.cm.Load(global, mem.Target{Kind: mem.TargetDMAFill, Aux: line, NoL1: true}) {
+	switch d.cm.Load(global, mem.Target{Kind: mem.TargetDMAFill, Aux: line, NoL1: true}, cycle) {
 	case mem.LoadMSHRFull:
 		d.MSHRWaits++
 		return // retry next cycle
@@ -178,7 +180,7 @@ func (d *DMAEngine) copyIn(line uint64) {
 	}
 }
 
-func (d *DMAEngine) tickOut() {
+func (d *DMAEngine) tickOut(cycle uint64) {
 	if d.nextOut >= d.mapping.Bytes {
 		if len(d.pendingOut) == 0 {
 			d.state = DMADone
@@ -197,7 +199,7 @@ func (d *DMAEngine) tickOut() {
 		d.backing.Store64(g, d.pad.Load64(d.mapping.LocalFor(g)))
 	}
 	d.pendingOut[line] = struct{}{}
-	d.mesh.Send(d.tile, d.bankTile(line), noc.PortL2,
+	d.mesh.Send(cycle, d.tile, d.bankTile(line), noc.PortL2,
 		mem.WriteThrough{Line: line, Requestor: d.coreID})
 	d.LinesOut++
 	d.nextOut += d.lineSize
@@ -218,4 +220,10 @@ func (d *DMAEngine) WriteAcked(line uint64) {
 // Quiesced reports no transfer in progress.
 func (d *DMAEngine) Quiesced() bool {
 	return d.state == DMAIdle || d.state == DMAReady || d.state == DMADone
+}
+
+// Diagnose describes the transfer state for engine deadlock dumps.
+func (d *DMAEngine) Diagnose() string {
+	return fmt.Sprintf("dma state=%d pending-in=%d pending-out=%d",
+		d.state, len(d.pendingIn), len(d.pendingOut))
 }

@@ -30,6 +30,9 @@ func newDMAHarness(t *testing.T) *dmaHarness {
 	h.pad = New(cfg.ScratchSize, cfg.ScratchBanks)
 	h.dma = NewDMAEngine(h.pad, sys.Cores[0], sys.Backing, sys.Mesh,
 		sys.CoreTile(0), 0, sys.BankTile, cfg.LineSize)
+	// The harness starts transfers between steps with no wake wiring, so
+	// drive both components densely.
+	h.eng.SetDense(true)
 	h.eng.Register("mem", sim.TickFunc(sys.Tick))
 	h.eng.Register("dma", sim.TickFunc(h.dma.Tick))
 	return h

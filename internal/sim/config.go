@@ -89,6 +89,16 @@ type Config struct {
 
 	// MaxCycles bounds a run; exceeding it returns ErrMaxCycles.
 	MaxCycles uint64
+
+	// --- Engine ---
+
+	// DenseTicking selects the legacy dense scheduling loop: every
+	// component ticks every cycle whether or not it has pending work.
+	// The default (false) uses the quiescence-aware active set, which
+	// produces byte-identical results while skipping idle components;
+	// the dense loop is kept as the reference for cross-engine diff
+	// tests and for isolating scheduler bugs.
+	DenseTicking bool
 }
 
 // Default returns the Table 5.1 configuration: 1 CPU + 15 SMs on a 4x4 mesh

@@ -3,70 +3,180 @@
 // advance in a fixed registration order each GPU cycle; no wall-clock time
 // or map iteration order ever influences timing, so a given configuration
 // always produces the identical result.
+//
+// The engine is quiescence-aware: a component reports from Tick whether it
+// still has pending work, and an idle component leaves the active set until
+// something re-arms it through its registration Handle. Because an idle
+// component's Tick is required to be a pure no-op, skipping it cannot change
+// the simulation — the dense loop (Config.DenseTicking, which ticks every
+// component every cycle) produces byte-identical results and serves as the
+// reference in cross-engine diff tests.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
-// Ticker is one simulated component. Tick is called exactly once per GPU
-// cycle, in registration order.
-type Ticker interface {
-	Tick(cycle uint64)
+// Component is one simulated unit. Tick is called at most once per cycle, in
+// registration order, and reports whether the component still has pending
+// work of its own (queued messages, draining state machines, in-flight
+// timers). A component that returns false is removed from the active set and
+// will not tick again until woken via its Handle; its Tick must therefore be
+// a pure no-op whenever it would return false, so that skipping the call is
+// indistinguishable from making it.
+type Component interface {
+	Tick(cycle uint64) (busy bool)
 }
 
-// TickFunc adapts a function to the Ticker interface.
-type TickFunc func(cycle uint64)
+// TickFunc adapts a function to the Component interface.
+type TickFunc func(cycle uint64) bool
 
-// Tick implements Ticker.
-func (f TickFunc) Tick(cycle uint64) { f(cycle) }
+// Tick implements Component.
+func (f TickFunc) Tick(cycle uint64) bool { return f(cycle) }
 
-// Engine drives the simulation: a flat, single-threaded cycle loop over the
-// registered components.
+// Diagnoser is an optional Component extension: Diagnose returns a short
+// description of the component's pending work (queue depths, in-flight
+// counts, state-machine phase) for the engine's deadlock dump.
+type Diagnoser interface {
+	Diagnose() string
+}
+
+// Handle re-arms a registered component. Waking is idempotent and may happen
+// at any point, including during the woken component's own tick: if the
+// component's slot in the current cycle has already passed, it ticks again
+// starting next cycle — exactly when a dense loop would first let it observe
+// work created after its slot.
+type Handle struct {
+	e  *Engine
+	id int
+}
+
+// Wake puts the component back in the active set.
+func (h Handle) Wake() {
+	if !h.e.active[h.id] {
+		h.e.active[h.id] = true
+		h.e.activeCount++
+	}
+}
+
+// Engine drives the simulation: a single-threaded cycle loop over the
+// registered components that skips components with no pending work.
 type Engine struct {
-	cycle   uint64
-	tickers []Ticker
-	names   []string
+	cycle       uint64
+	comps       []Component
+	names       []string
+	active      []bool
+	activeCount int
+	dense       bool
 }
 
-// NewEngine returns an empty engine at cycle 0.
+// NewEngine returns an empty quiescence-aware engine at cycle 0.
 func NewEngine() *Engine { return &Engine{} }
 
-// Register appends a component to the tick order. The name is used in
-// error messages only. Registration order defines evaluation order within a
-// cycle; callers register producers before consumers (NoC before caches
-// before cores) so messages sent in cycle N are visible no earlier than N+1.
-func (e *Engine) Register(name string, t Ticker) {
-	e.tickers = append(e.tickers, t)
+// SetDense switches the engine to the dense reference loop: every component
+// ticks every cycle regardless of the active set. Results are identical;
+// only the per-cycle cost differs.
+func (e *Engine) SetDense(dense bool) { e.dense = dense }
+
+// Register appends a component to the tick order and returns its wake
+// handle. Registration order defines evaluation order within a cycle;
+// callers register producers before consumers (NoC before caches before
+// cores) so messages sent in cycle N are visible no earlier than N+1.
+// Components start active and are guaranteed at least one tick.
+func (e *Engine) Register(name string, c Component) Handle {
+	e.comps = append(e.comps, c)
 	e.names = append(e.names, name)
+	e.active = append(e.active, true)
+	e.activeCount++
+	return Handle{e: e, id: len(e.comps) - 1}
 }
 
 // Cycle returns the current cycle (the number of completed cycles).
 func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// LastTick returns the cycle of the most recent completed tick — the "now"
+// a component would have observed during it, and the reference cycle for
+// direct probes made between engine steps (clamped to 0 before any tick).
+func (e *Engine) LastTick() uint64 {
+	if e.cycle > 0 {
+		return e.cycle - 1
+	}
+	return 0
+}
 
 // ErrMaxCycles is returned by Run when the cycle limit is reached before
 // done reports completion — the simulator equivalent of a watchdog timeout,
 // and almost always a deadlocked workload or protocol bug.
 var ErrMaxCycles = errors.New("sim: max cycles exceeded")
 
+// ErrStalled is returned by Run when every component has quiesced but done
+// still reports false: no tick can ever change anything again, so the run
+// can never complete. It carries the same diagnosis dump as ErrMaxCycles.
+var ErrStalled = errors.New("sim: all components idle before completion")
+
 // Run advances the simulation until done returns true, checking done before
-// every cycle. It returns the number of cycles executed by this call.
+// every cycle. It returns the number of cycles executed by this call. Both
+// failure modes — the watchdog limit and a fully quiesced-but-unfinished
+// system — append a per-component diagnosis so the dump says which unit
+// still held work instead of leaving a timeout opaque.
 func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
 	for !done() {
 		if e.cycle-start >= maxCycles {
-			return e.cycle - start, fmt.Errorf("%w (%d)", ErrMaxCycles, maxCycles)
+			return e.cycle - start, fmt.Errorf("%w (%d)\n%s", ErrMaxCycles, maxCycles, e.Diagnosis())
+		}
+		if !e.dense && e.activeCount == 0 {
+			return e.cycle - start, fmt.Errorf("%w (cycle %d)\n%s", ErrStalled, e.cycle, e.Diagnosis())
 		}
 		e.Step()
 	}
 	return e.cycle - start, nil
 }
 
-// Step executes exactly one cycle.
+// Step executes exactly one cycle: every active component ticks in
+// registration order (every component, in dense mode). A component woken
+// during the pass ticks this cycle if its slot has not passed yet, next
+// cycle otherwise — matching when the dense loop would first have it see
+// the new work.
 func (e *Engine) Step() {
-	for _, t := range e.tickers {
-		t.Tick(e.cycle)
+	for i, c := range e.comps {
+		if !e.dense && !e.active[i] {
+			continue
+		}
+		if e.active[i] {
+			e.active[i] = false
+			e.activeCount--
+		}
+		if c.Tick(e.cycle) && !e.active[i] {
+			e.active[i] = true
+			e.activeCount++
+		}
 	}
 	e.cycle++
+}
+
+// ActiveCount reports how many components currently have pending work.
+func (e *Engine) ActiveCount() int { return e.activeCount }
+
+// Diagnosis renders every registered component's name, busy/idle state, and
+// (for Diagnosers) pending-work description — the deadlock dump attached to
+// ErrMaxCycles and ErrStalled.
+func (e *Engine) Diagnosis() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "engine diagnosis at cycle %d (%d/%d components busy):\n",
+		e.cycle, e.activeCount, len(e.comps))
+	for i, c := range e.comps {
+		state := "idle"
+		if e.active[i] {
+			state = "busy"
+		}
+		fmt.Fprintf(&sb, "  %-10s %s", e.names[i], state)
+		if d, ok := c.(Diagnoser); ok {
+			fmt.Fprintf(&sb, "  %s", d.Diagnose())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }

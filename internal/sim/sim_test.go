@@ -2,14 +2,26 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
+
+// busyFor returns a TickFunc that records its tick cycles and stays busy
+// for the first n ticks.
+func busyFor(n int, ticks *[]uint64) TickFunc {
+	count := 0
+	return func(c uint64) bool {
+		*ticks = append(*ticks, c)
+		count++
+		return count < n
+	}
+}
 
 func TestEngineTickOrderAndCount(t *testing.T) {
 	eng := NewEngine()
 	var order []string
-	eng.Register("a", TickFunc(func(uint64) { order = append(order, "a") }))
-	eng.Register("b", TickFunc(func(uint64) { order = append(order, "b") }))
+	eng.Register("a", TickFunc(func(uint64) bool { order = append(order, "a"); return true }))
+	eng.Register("b", TickFunc(func(uint64) bool { order = append(order, "b"); return true }))
 	eng.Step()
 	eng.Step()
 	want := []string{"a", "b", "a", "b"}
@@ -29,7 +41,7 @@ func TestEngineTickOrderAndCount(t *testing.T) {
 func TestEngineRunUntilDone(t *testing.T) {
 	eng := NewEngine()
 	count := 0
-	eng.Register("c", TickFunc(func(uint64) { count++ }))
+	eng.Register("c", TickFunc(func(uint64) bool { count++; return true }))
 	n, err := eng.Run(func() bool { return count >= 5 }, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +53,7 @@ func TestEngineRunUntilDone(t *testing.T) {
 
 func TestEngineWatchdog(t *testing.T) {
 	eng := NewEngine()
+	eng.Register("spin", TickFunc(func(uint64) bool { return true }))
 	_, err := eng.Run(func() bool { return false }, 10)
 	if !errors.Is(err, ErrMaxCycles) {
 		t.Fatalf("err = %v, want ErrMaxCycles", err)
@@ -48,16 +61,169 @@ func TestEngineWatchdog(t *testing.T) {
 	if eng.Cycle() != 10 {
 		t.Fatalf("Cycle = %d, want 10", eng.Cycle())
 	}
+	if !strings.Contains(err.Error(), "spin") || !strings.Contains(err.Error(), "busy") {
+		t.Errorf("watchdog error lacks component diagnosis: %v", err)
+	}
 }
 
 func TestEngineTickSeesCycleBeforeIncrement(t *testing.T) {
 	eng := NewEngine()
 	var seen []uint64
-	eng.Register("c", TickFunc(func(c uint64) { seen = append(seen, c) }))
+	eng.Register("c", TickFunc(func(c uint64) bool { seen = append(seen, c); return true }))
 	eng.Step()
 	eng.Step()
 	if seen[0] != 0 || seen[1] != 1 {
 		t.Fatalf("seen = %v, want [0 1]", seen)
+	}
+}
+
+// TestEngineIdleComponentSkipped: a component that quiesces stops ticking;
+// in dense mode it keeps ticking every cycle.
+func TestEngineIdleComponentSkipped(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		eng := NewEngine()
+		eng.SetDense(dense)
+		var idleTicks, busyTicks []uint64
+		eng.Register("idle", busyFor(1, &idleTicks))
+		eng.Register("busy", busyFor(100, &busyTicks))
+		for i := 0; i < 5; i++ {
+			eng.Step()
+		}
+		wantIdle := 1
+		if dense {
+			wantIdle = 5
+		}
+		if len(idleTicks) != wantIdle {
+			t.Errorf("dense=%v: idle component ticked %d times, want %d", dense, len(idleTicks), wantIdle)
+		}
+		if len(busyTicks) != 5 {
+			t.Errorf("dense=%v: busy component ticked %d times, want 5", dense, len(busyTicks))
+		}
+	}
+}
+
+// TestEngineWakeWhileIdle: a component that quiesced is re-armed by another
+// component's Wake. Woken by an earlier-registered component, it ticks the
+// same cycle; its own tick then keeps it alive per its busy return.
+func TestEngineWakeWhileIdle(t *testing.T) {
+	eng := NewEngine()
+	var ticks []uint64
+	var sleeper Handle
+	eng.Register("waker", TickFunc(func(c uint64) bool {
+		if c == 3 {
+			sleeper.Wake()
+		}
+		return c < 6
+	}))
+	sleeper = eng.Register("sleeper", busyFor(1, &ticks))
+	for i := 0; i < 8; i++ {
+		eng.Step()
+	}
+	// Tick at 0 (initial), quiesce; woken during cycle 3 by the earlier
+	// component, so it ticks at 3 and quiesces again.
+	if len(ticks) != 2 || ticks[0] != 0 || ticks[1] != 3 {
+		t.Fatalf("sleeper ticks = %v, want [0 3]", ticks)
+	}
+}
+
+// TestEngineWakeByLaterComponentNextCycle: a wake from a component
+// registered after the sleeper arrives too late for the current cycle and
+// takes effect the next one — matching when a dense loop would first let
+// the sleeper observe work created after its slot.
+func TestEngineWakeByLaterComponentNextCycle(t *testing.T) {
+	eng := NewEngine()
+	var ticks []uint64
+	sleeper := eng.Register("sleeper", busyFor(1, &ticks))
+	eng.Register("waker", TickFunc(func(c uint64) bool {
+		if c == 3 {
+			sleeper.Wake()
+		}
+		return c < 6
+	}))
+	for i := 0; i < 8; i++ {
+		eng.Step()
+	}
+	if len(ticks) != 2 || ticks[0] != 0 || ticks[1] != 4 {
+		t.Fatalf("sleeper ticks = %v, want [0 4]", ticks)
+	}
+}
+
+// TestEngineWakeDuringOwnTick: a component that wakes itself mid-tick stays
+// active even though its Tick returned false.
+func TestEngineWakeDuringOwnTick(t *testing.T) {
+	eng := NewEngine()
+	var self Handle
+	var ticks []uint64
+	self = eng.Register("self", TickFunc(func(c uint64) bool {
+		ticks = append(ticks, c)
+		if c == 0 {
+			self.Wake() // re-arm despite returning false
+		}
+		return false
+	}))
+	for i := 0; i < 4; i++ {
+		eng.Step()
+	}
+	if len(ticks) != 2 || ticks[0] != 0 || ticks[1] != 1 {
+		t.Fatalf("ticks = %v, want [0 1]", ticks)
+	}
+}
+
+// TestEngineLastComponentQuiesces: once the last active component goes
+// idle, Run reports ErrStalled (with a diagnosis) instead of spinning to
+// the watchdog — and exits cleanly when done turns true first.
+func TestEngineLastComponentQuiesces(t *testing.T) {
+	eng := NewEngine()
+	done := false
+	eng.Register("a", busyFor(2, &[]uint64{}))
+	eng.Register("b", TickFunc(func(c uint64) bool {
+		if c == 4 {
+			done = true
+		}
+		return c < 4
+	}))
+	n, err := eng.Run(func() bool { return done }, 1000)
+	if err != nil {
+		t.Fatalf("clean quiescence errored: %v", err)
+	}
+	// b stays busy through cycle 4 and sets done during cycle 4; done is
+	// observed before cycle 5.
+	if n != 5 {
+		t.Fatalf("ran %d cycles, want 5", n)
+	}
+
+	// Without the done flag flipping, full quiescence is a stall.
+	eng2 := NewEngine()
+	eng2.Register("a", busyFor(2, &[]uint64{}))
+	_, err = eng2.Run(func() bool { return false }, 1000)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if !strings.Contains(err.Error(), "idle") {
+		t.Errorf("stall error lacks diagnosis: %v", err)
+	}
+}
+
+// TestEngineDiagnosis: the dump names every component with its state and
+// includes Diagnoser detail.
+type diagComp struct{ busy bool }
+
+func (d diagComp) Tick(uint64) bool { return d.busy }
+func (d diagComp) Diagnose() string { return "queue=7" }
+
+func TestEngineDiagnosis(t *testing.T) {
+	eng := NewEngine()
+	eng.Register("router", diagComp{busy: true})
+	eng.Register("drained", diagComp{busy: false})
+	eng.Step()
+	dump := eng.Diagnosis()
+	for _, want := range []string{"router", "busy", "drained", "idle", "queue=7"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("diagnosis missing %q:\n%s", want, dump)
+		}
+	}
+	if eng.ActiveCount() != 1 {
+		t.Errorf("ActiveCount = %d, want 1", eng.ActiveCount())
 	}
 }
 
@@ -68,6 +234,9 @@ func TestDefaultConfigValid(t *testing.T) {
 	cfg := Default()
 	if cfg.NumCores() != 16 || cfg.CPUCore() != 15 {
 		t.Fatalf("cores = %d, cpu = %d", cfg.NumCores(), cfg.CPUCore())
+	}
+	if cfg.DenseTicking {
+		t.Fatal("default config must use the quiescence-aware engine")
 	}
 }
 
