@@ -250,8 +250,8 @@ func BenchmarkInspectorObserve(b *testing.B) {
 
 // benchThroughput runs one workload repeatedly and reports simulated
 // cycles per iteration; b.N iterations over wall time give cycles/sec.
-func benchThroughput(b *testing.B, sys SystemConfig, dense bool, w Workload) {
-	sys.DenseTicking = dense
+func benchThroughput(b *testing.B, sys SystemConfig, mode EngineMode, w Workload) {
+	sys.Engine = mode
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		rep, err := Run(Options{System: sys, Protocol: DeNovo}, w)
@@ -265,32 +265,94 @@ func benchThroughput(b *testing.B, sys SystemConfig, dense bool, w Workload) {
 
 // BenchmarkSimulatorCyclesPerSecond measures raw simulation throughput on
 // the implicit microbenchmark (cycles simulated per wall-clock second,
-// reported as cycles/op) under the quiescence-aware scheduling core.
+// reported as cycles/op) under the default skip-ahead engine.
 func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
-	benchThroughput(b, implicitSystem(32), false, NewImplicit(Scratchpad))
+	benchThroughput(b, implicitSystem(32), EngineSkip, NewImplicit(Scratchpad))
+}
+
+// BenchmarkSimulatorCyclesPerSecondQuiescent is the no-jump reference for
+// BenchmarkSimulatorCyclesPerSecond: same active-set scheduling, clock
+// advanced one cycle at a time.
+func BenchmarkSimulatorCyclesPerSecondQuiescent(b *testing.B) {
+	benchThroughput(b, implicitSystem(32), EngineQuiescent, NewImplicit(Scratchpad))
 }
 
 // BenchmarkSimulatorCyclesPerSecondDense is the dense-loop reference for
 // BenchmarkSimulatorCyclesPerSecond: identical simulation, every component
-// ticked every cycle. The ratio of the two is the scheduling core's win.
+// ticked every cycle. The ratios of the three are the scheduling wins.
 func BenchmarkSimulatorCyclesPerSecondDense(b *testing.B) {
-	benchThroughput(b, implicitSystem(32), true, NewImplicit(Scratchpad))
+	benchThroughput(b, implicitSystem(32), EngineDense, NewImplicit(Scratchpad))
+}
+
+func benchUTSD() Workload {
+	return NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
+		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
 }
 
 // BenchmarkUTSDThroughput measures throughput on the figure 6.2 workload
-// (15 SMs, DeNovo) under the quiescence-aware scheduling core.
+// (15 SMs, DeNovo) under the default skip-ahead engine.
 func BenchmarkUTSDThroughput(b *testing.B) {
-	benchThroughput(b, DefaultConfig(), false,
-		NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
-			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128}))
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchUTSD())
+}
+
+// BenchmarkUTSDThroughputQuiescent is the no-jump reference for
+// BenchmarkUTSDThroughput.
+func BenchmarkUTSDThroughputQuiescent(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineQuiescent, benchUTSD())
 }
 
 // BenchmarkUTSDThroughputDense is the dense-loop reference for
 // BenchmarkUTSDThroughput.
 func BenchmarkUTSDThroughputDense(b *testing.B) {
-	benchThroughput(b, DefaultConfig(), true,
-		NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 400, FrontierMin: 120,
-			Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128}))
+	benchThroughput(b, DefaultConfig(), EngineDense, benchUTSD())
+}
+
+// latencyBoundSystem is the latency-dominated configuration the skip-ahead
+// engine targets: a single warp streaming a 256 KB region through
+// dependent global loads with a 512-entry MSHR, so structural stalls
+// vanish (figure 6.4's high-MSHR regime) and nearly every cycle is pure
+// memory waiting. memLat selects the memory distance: 170 is Table 5.1's
+// local DRAM; 600 models far/remote memory, where waits dominate even
+// harder.
+func latencyBoundSystem(memLat int) SystemConfig {
+	sys := implicitSystem(512)
+	sys.WarpsPerSM = 1
+	sys.ScratchSize = 256 << 10
+	sys.MemLat = memLat
+	return sys
+}
+
+func latencyBoundWorkload() Workload {
+	return NewImplicitWith(Implicit{Seed: 0xD17A, Warps: 1, DataBytes: 256 << 10, FMAs: 4, Rounds: 1}, Scratchpad)
+}
+
+// BenchmarkLatencyBound* measure the skip-ahead engine's headline case on
+// the local-DRAM latency (Table 5.1's 170 cycles).
+func BenchmarkLatencyBound(b *testing.B) {
+	benchThroughput(b, latencyBoundSystem(170), EngineSkip, latencyBoundWorkload())
+}
+
+func BenchmarkLatencyBoundQuiescent(b *testing.B) {
+	benchThroughput(b, latencyBoundSystem(170), EngineQuiescent, latencyBoundWorkload())
+}
+
+func BenchmarkLatencyBoundDense(b *testing.B) {
+	benchThroughput(b, latencyBoundSystem(170), EngineDense, latencyBoundWorkload())
+}
+
+// BenchmarkLatencyBoundRemote* repeat the latency-bound measurement at a
+// remote-memory distance (600 cycles): the deeper the wait, the more of
+// the run the skip-ahead engine jumps.
+func BenchmarkLatencyBoundRemote(b *testing.B) {
+	benchThroughput(b, latencyBoundSystem(600), EngineSkip, latencyBoundWorkload())
+}
+
+func BenchmarkLatencyBoundRemoteQuiescent(b *testing.B) {
+	benchThroughput(b, latencyBoundSystem(600), EngineQuiescent, latencyBoundWorkload())
+}
+
+func BenchmarkLatencyBoundRemoteDense(b *testing.B) {
+	benchThroughput(b, latencyBoundSystem(600), EngineDense, latencyBoundWorkload())
 }
 
 // BenchmarkAblationOwnedAtomics quantifies the owned-atomics suggestion of

@@ -33,7 +33,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit all requested figures as one JSON array")
 		parallel = flag.Int("parallel", 0, "simulation workers (0 = all cores, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
-		dense    = flag.Bool("dense", false, "use the dense reference engine (tick every component every cycle)")
+		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip (all byte-identical)")
+		dense    = flag.Bool("dense", false, "shorthand for -engine dense")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -46,6 +47,14 @@ func main() {
 		fail("%v", err)
 	}
 	defer stopProf()
+
+	mode, err := gsi.ParseEngineMode(*engine)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *dense {
+		mode = gsi.EngineDense
+	}
 
 	var sc gsi.Scale
 	switch strings.ToLower(*scale) {
@@ -99,11 +108,9 @@ func main() {
 	if len(specs) == 0 {
 		return
 	}
-	if *dense {
-		for si := range specs {
-			for ji := range specs[si].Sweep.Jobs {
-				specs[si].Sweep.Jobs[ji].Options.System.DenseTicking = true
-			}
+	for si := range specs {
+		for ji := range specs[si].Sweep.Jobs {
+			specs[si].Sweep.Jobs[ji].Options.System.Engine = mode
 		}
 	}
 

@@ -8,7 +8,7 @@
 //
 //	gsi-run -workload utsd -protocol denovo -nodes 1500
 //	gsi-run -workload implicit -local stash -mshr 256 -chart
-//	gsi-run -workload implicit -local scratchpad,dma,stash -mshr 32,64,128,256 -json
+//	gsi-run -workload implicit -local scratchpad,dma,stash -mshr 32,64,128,256,512 -json
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 		workload = flag.String("workload", "implicit", "uts | utsd | implicit")
 		protocol = flag.String("protocol", "denovo", "comma-separated: gpu | denovo")
 		local    = flag.String("local", "scratchpad", "implicit only, comma-separated: scratchpad | dma | stash")
+		warps    = flag.Int("warps", 0, "implicit only: warp count override (fewer warps = less MLP, more latency-dominated)")
 		nodes    = flag.Int("nodes", 1000, "tree size for uts/utsd")
 		sms      = flag.Int("sms", 0, "SM count override (default: 15 for uts/utsd, 1 for implicit)")
 		mshr     = flag.String("mshr", "32", "comma-separated MSHR (and store buffer) entries")
@@ -39,7 +40,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit JSON reports instead of text summaries")
 		parallel = flag.Int("parallel", 0, "sweep workers (0 = all cores, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress sweep progress on stderr")
-		dense    = flag.Bool("dense", false, "use the dense reference engine (tick every component every cycle)")
+		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip (all byte-identical)")
+		dense    = flag.Bool("dense", false, "shorthand for -engine dense")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -53,13 +55,24 @@ func main() {
 	}
 	defer stopProf()
 
+	mode, err := gsi.ParseEngineMode(*engine)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *dense {
+		mode = gsi.EngineDense
+	}
+
 	protocols := parseProtocols(*protocol)
 	mshrs := parseInts(*mshr)
 	kind, implicit := parseWorkload(*workload)
-	localSet := false
+	localSet, warpsSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "local" {
+		switch f.Name {
+		case "local":
 			localSet = true
+		case "warps":
+			warpsSet = true
 		}
 	})
 	var locals []gsi.LocalMem
@@ -67,6 +80,12 @@ func main() {
 		locals = parseLocals(*local)
 	} else if localSet {
 		fail("-local applies to the implicit workload only")
+	}
+	if warpsSet && !implicit {
+		fail("-warps applies to the implicit workload only")
+	}
+	if warpsSet && *warps <= 0 {
+		fail("bad warp count %d", *warps)
 	}
 
 	grid := gsi.Grid{
@@ -77,7 +96,16 @@ func main() {
 	}
 	if implicit {
 		grid.System = gsi.ImplicitSystem(mshrs[0])
-		grid.Workload = func(ax gsi.Axes) gsi.Workload { return gsi.NewImplicit(ax.LocalMem) }
+		if warpsSet {
+			p := gsi.DefaultImplicit()
+			p.Warps = *warps
+			if *warps < grid.System.WarpsPerSM {
+				grid.System.WarpsPerSM = *warps
+			}
+			grid.Workload = func(ax gsi.Axes) gsi.Workload { return gsi.NewImplicitWith(p, ax.LocalMem) }
+		} else {
+			grid.Workload = func(ax gsi.Axes) gsi.Workload { return gsi.NewImplicit(ax.LocalMem) }
+		}
 	} else {
 		n := *nodes
 		if kind == "uts" {
@@ -96,7 +124,7 @@ func main() {
 		if *sms > 0 {
 			o.System.NumSMs = *sms
 		}
-		o.System.DenseTicking = *dense
+		o.System.Engine = mode
 	}
 
 	cfg := gsi.SweepConfig{Parallel: *parallel}

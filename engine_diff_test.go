@@ -5,11 +5,11 @@ import (
 	"testing"
 )
 
-// denseSpecs returns every figure spec at small scale with the legacy dense
-// scheduling loop forced on each job. Jobs whose System is zero resolve to
-// DefaultConfig through withDefaults, so the switch must be applied to the
+// figureSpecsEngine returns every figure spec at small scale with the given
+// scheduling engine forced on each job. Jobs whose System is zero resolve
+// to DefaultConfig through withDefaults, so the switch is applied to the
 // resolved config.
-func figureSpecsDense(dense bool) []FigureSpec {
+func figureSpecsEngine(mode EngineMode) []FigureSpec {
 	sc := SmallScale()
 	specs := []FigureSpec{Figure61Spec(sc), Figure62Spec(sc), Figure63Spec()}
 	specs = append(specs, Figure64Specs(sc)...)
@@ -17,41 +17,55 @@ func figureSpecsDense(dense bool) []FigureSpec {
 		for ji := range specs[si].Sweep.Jobs {
 			o := &specs[si].Sweep.Jobs[ji].Options
 			*o = o.withDefaults()
-			o.System.DenseTicking = dense
+			o.System.Engine = mode
 		}
 	}
 	return specs
 }
 
-// TestDenseAndQuiescentEnginesByteIdentical is the cross-engine determinism
-// contract: for every figure spec, the quiescence-aware scheduling core and
-// the dense reference loop must produce byte-identical reports — same
-// cycles, same stall counts, same memory statistics, same JSON.
-func TestDenseAndQuiescentEnginesByteIdentical(t *testing.T) {
-	quiescent, err := RunFigureSpecs(figureSpecsDense(false), SweepConfig{})
-	if err != nil {
-		t.Fatal(err)
+// TestEnginesByteIdentical is the cross-engine determinism contract: for
+// every figure spec, the dense reference loop, the quiescence-aware loop,
+// and the event-driven skip-ahead engine must produce byte-identical
+// reports — same cycles, same stall counts, same memory statistics, same
+// JSON.
+func TestEnginesByteIdentical(t *testing.T) {
+	type engineRun struct {
+		mode EngineMode
+		sets []*FigureSet
+		json [][]byte
 	}
-	dense, err := RunFigureSpecs(figureSpecsDense(true), SweepConfig{})
-	if err != nil {
-		t.Fatal(err)
+	runs := []*engineRun{
+		{mode: EngineDense},
+		{mode: EngineQuiescent},
+		{mode: EngineSkip},
 	}
-	if len(quiescent) != len(dense) {
-		t.Fatalf("set counts differ: %d vs %d", len(quiescent), len(dense))
-	}
-	for i := range quiescent {
-		qj, err := quiescent[i].JSON()
+	for _, r := range runs {
+		sets, err := RunFigureSpecs(figureSpecsEngine(r.mode), SweepConfig{})
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("%s engine: %v", r.mode, err)
 		}
-		dj, err := dense[i].JSON()
-		if err != nil {
-			t.Fatal(err)
+		r.sets = sets
+		r.json = make([][]byte, len(sets))
+		for i, fs := range sets {
+			doc, err := fs.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.json[i] = doc
 		}
-		if !bytes.Equal(qj, dj) {
-			qd, dd := diffLine(qj, dj)
-			t.Errorf("figure %s diverges between engines:\n quiescent: %s\n dense:     %s",
-				quiescent[i].ID, qd, dd)
+	}
+	ref := runs[0]
+	for _, r := range runs[1:] {
+		if len(r.sets) != len(ref.sets) {
+			t.Fatalf("%s vs %s: set counts differ: %d vs %d",
+				r.mode, ref.mode, len(r.sets), len(ref.sets))
+		}
+		for i := range ref.sets {
+			if !bytes.Equal(r.json[i], ref.json[i]) {
+				rd, dd := diffLine(r.json[i], ref.json[i])
+				t.Errorf("figure %s diverges between %s and %s engines:\n %s: %s\n %s: %s",
+					ref.sets[i].ID, r.mode, ref.mode, r.mode, rd, ref.mode, dd)
+			}
 		}
 	}
 }
@@ -67,32 +81,75 @@ func diffLine(a, b []byte) (string, string) {
 	return "<prefix>", "<prefix>"
 }
 
-// TestEnginesIdenticalWithTimeline pins the bulk idle-advance path: with the
-// per-SM timeline enabled (the collector most sensitive to when idle cycles
+// TestEnginesIdenticalWithTimeline pins the bulk span-crediting paths: with
+// the per-SM timeline enabled (the collector most sensitive to when cycles
 // are recorded), a 15-SM run whose SMs drain at different times must render
-// identically whether idle cycles were observed one at a time (dense) or
-// credited as one span at the end (quiescent).
+// identically whether cycles were observed one at a time (dense), idle
+// tails were credited as one span at the end (quiescent), or whole stall
+// windows were credited per jump (skip-ahead).
 func TestEnginesIdenticalWithTimeline(t *testing.T) {
 	w := NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 120, FrontierMin: 40,
 		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
-	run := func(dense bool) *Report {
+	run := func(mode EngineMode) *Report {
 		opt := Options{Protocol: DeNovo, Timeline: true}
 		opt.System = DefaultConfig()
-		opt.System.DenseTicking = dense
+		opt.System.Engine = mode
 		rep, err := Run(opt, w)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return rep
 	}
-	q, d := run(false), run(true)
-	if q.Timeline != d.Timeline {
-		t.Errorf("timelines diverge:\n--- quiescent ---\n%s\n--- dense ---\n%s", q.Timeline, d.Timeline)
+	d := run(EngineDense)
+	for _, mode := range []EngineMode{EngineQuiescent, EngineSkip} {
+		q := run(mode)
+		if q.Timeline != d.Timeline {
+			t.Errorf("%s: timelines diverge:\n--- %s ---\n%s\n--- dense ---\n%s",
+				mode, mode, q.Timeline, d.Timeline)
+		}
+		if q.Cycles != d.Cycles {
+			t.Errorf("%s: cycles diverge: %d vs %d", mode, q.Cycles, d.Cycles)
+		}
+		if q.Counts != d.Counts {
+			t.Errorf("%s: counts diverge:\n%+v\nvs\n%+v", mode, q.Counts, d.Counts)
+		}
 	}
-	if q.Cycles != d.Cycles {
-		t.Errorf("cycles diverge: %d vs %d", q.Cycles, d.Cycles)
+}
+
+// TestSkipAheadActuallyJumps guards the point of the skip-ahead engine: on
+// a latency-dominated configuration (large MSHR, so structural stalls
+// vanish and warps mostly wait on memory), the engine must take jumps and
+// skip a substantial share of the simulated cycles — while producing the
+// exact same report the dense loop does (covered by the diff tests above).
+func TestSkipAheadActuallyJumps(t *testing.T) {
+	rep, err := Run(Options{System: latencyBoundSystem(170), Protocol: DeNovo}, latencyBoundWorkload())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if q.Counts != d.Counts {
-		t.Errorf("counts diverge:\n%+v\nvs\n%+v", q.Counts, d.Counts)
+	st := rep.EngineStats
+	if st.Jumps == 0 {
+		t.Fatalf("skip-ahead engine took no jumps on a latency-dominated run (%d cycles)", rep.Cycles)
+	}
+	if st.SkippedCycles == 0 || st.Steps+st.SkippedCycles == 0 {
+		t.Fatalf("no cycles skipped: stats %+v", st)
+	}
+	frac := float64(st.SkippedCycles) / float64(st.Steps+st.SkippedCycles)
+	if frac < 0.2 {
+		t.Errorf("skip-ahead skipped only %.1f%% of %d cycles on a high-MSHR run; expected a latency-dominated workload to jump most of its waiting",
+			frac*100, rep.Cycles)
+	}
+	// The jumps must not have changed anything: the same configuration on
+	// the dense loop produces the identical report.
+	sys := latencyBoundSystem(170)
+	sys.Engine = EngineDense
+	dense, err := Run(Options{System: sys, Protocol: DeNovo}, latencyBoundWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := rep.JSON()
+	dj, _ := dense.JSON()
+	if !bytes.Equal(sj, dj) {
+		a, b := diffLine(sj, dj)
+		t.Errorf("latency-bound config diverges between skip and dense:\n skip:  %s\n dense: %s", a, b)
 	}
 }

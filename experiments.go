@@ -97,14 +97,17 @@ type Scale struct {
 	MSHRSizes   []int
 }
 
-// DefaultScale is the benchmark-harness sizing.
+// DefaultScale is the benchmark-harness sizing: 6k-node trees and the
+// widened figure 6.4 MSHR axis (up to 512 entries), both affordable since
+// the skip-ahead engine stopped paying per cycle for latency waits.
 func DefaultScale() Scale {
-	return Scale{UTSNodes: 1500, UTSDNodes: 1500, FrontierMin: 120, MSHRSizes: []int{32, 64, 128, 256}}
+	return Scale{UTSNodes: 6000, UTSDNodes: 6000, FrontierMin: 120, MSHRSizes: []int{32, 64, 128, 256, 512}}
 }
 
-// SmallScale keeps unit-test runtimes low.
+// SmallScale keeps unit-test runtimes low; its MSHR axis spans the same
+// widened range as DefaultScale (smallest and largest sizes only).
 func SmallScale() Scale {
-	return Scale{UTSNodes: 250, UTSDNodes: 250, FrontierMin: 60, MSHRSizes: []int{32, 256}}
+	return Scale{UTSNodes: 250, UTSDNodes: 250, FrontierMin: 60, MSHRSizes: []int{32, 512}}
 }
 
 // FigureSpec is one reproduced figure declared as a sweep: run the jobs,

@@ -135,6 +135,27 @@ type SystemConfig = sim.Config
 // DefaultConfig returns the Table 5.1 system.
 func DefaultConfig() SystemConfig { return sim.Default() }
 
+// EngineMode re-exports the scheduling-loop selector
+// (SystemConfig.Engine). All modes produce byte-identical Reports; they
+// differ only in wall-clock cost.
+type EngineMode = sim.EngineMode
+
+// Engine modes: skip-ahead (the default), quiescent (active set, no
+// jumps), and the dense reference loop.
+const (
+	EngineSkip      = sim.EngineSkip
+	EngineQuiescent = sim.EngineQuiescent
+	EngineDense     = sim.EngineDense
+)
+
+// ParseEngineMode parses a -engine flag value ("dense", "quiescent",
+// "skip").
+func ParseEngineMode(s string) (EngineMode, error) { return sim.ParseEngineMode(s) }
+
+// EngineStats re-exports the engine's scheduling counters (tick passes,
+// skip-ahead jumps, skipped cycles), reported per run on Report.
+type EngineStats = sim.EngineStats
+
 // Mapping re-exports the scratchpad/stash window descriptor for custom
 // kernels.
 type Mapping = scratchpad.Mapping
@@ -177,10 +198,13 @@ type Options struct {
 	SkipVerify bool
 }
 
-// withDefaults fills in the zero value.
+// withDefaults fills in the zero value, preserving an engine-mode
+// selection made on an otherwise-zero System.
 func (o Options) withDefaults() Options {
 	if o.System.NumSMs == 0 {
+		mode := o.System.EngineMode()
 		o.System = DefaultConfig()
+		o.System.Engine = mode
 	}
 	return o
 }

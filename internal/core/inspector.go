@@ -103,15 +103,26 @@ func (in *Inspector) Observe(sm int, warps []WarpObs) CycleClass {
 }
 
 // RecordCycle records an already-classified cycle for an SM.
-func (in *Inspector) RecordCycle(sm int, cc CycleClass) {
+func (in *Inspector) RecordCycle(sm int, cc CycleClass) { in.RecordCycleSpan(sm, cc, 1) }
+
+// RecordCycleSpan records n consecutive cycles of one classification for an
+// SM in one call — exactly the counts, deferred-attribution accruals, and
+// timeline a dense loop would accumulate by recording the same CycleClass n
+// times in a row. It is the bulk-advance path for the skip-ahead engine:
+// when the engine jumps a window in which an SM's classification provably
+// cannot change, the whole window is credited here at once.
+func (in *Inspector) RecordCycleSpan(sm int, cc CycleClass, n uint64) {
+	if n == 0 {
+		return
+	}
 	c := &in.perSM[sm]
-	c.Cycles[cc.Kind]++
+	c.Cycles[cc.Kind] += n
 	if in.Timeline != nil {
-		in.Timeline.Record(sm, cc.Kind)
+		in.Timeline.RecordSpan(sm, cc.Kind, n)
 	}
 	switch cc.Kind {
 	case MemData:
-		in.recordMemData(sm, cc.PendingLoad)
+		in.recordMemData(sm, cc.PendingLoad, n)
 	case MemStructural:
 		cause := cc.StructCause
 		if cause == StructNone {
@@ -119,24 +130,19 @@ func (in *Inspector) RecordCycle(sm int, cc CycleClass) {
 			// charge the most generic one rather than dropping.
 			cause = StructMSHRFull
 		}
-		c.MemStruct[cause]++
+		c.MemStruct[cause] += n
 	case CompData:
-		c.CompData[unitOrALU(cc.CompUnit)]++
+		c.CompData[unitOrALU(cc.CompUnit)] += n
 	case CompStructural:
-		c.CompStruct[unitOrALU(cc.CompUnit)]++
+		c.CompStruct[unitOrALU(cc.CompUnit)] += n
 	}
 }
 
-// RecordIdleSpan records n consecutive Idle cycles for an SM in one call.
-// It is the bulk-advance path for the quiescence-aware engine: a drained SM
-// stops ticking, and the skipped cycles are credited here at the end of the
-// run — producing exactly the counts (and timeline) a dense loop would have
-// accumulated by observing the SM idle one cycle at a time.
+// RecordIdleSpan records n consecutive Idle cycles for an SM in one call —
+// the bulk path for a drained SM that stopped ticking, credited at the end
+// of the run.
 func (in *Inspector) RecordIdleSpan(sm int, n uint64) {
-	in.perSM[sm].Cycles[Idle] += n
-	if in.Timeline != nil {
-		in.Timeline.RecordSpan(sm, Idle, n)
-	}
+	in.RecordCycleSpan(sm, CycleClass{Kind: Idle}, n)
 }
 
 // unitOrALU defaults an unattributed compute stall to the ALU, the generic
@@ -148,19 +154,19 @@ func unitOrALU(u CompUnit) CompUnit {
 	return u
 }
 
-func (in *Inspector) recordMemData(sm int, id LoadID) {
+func (in *Inspector) recordMemData(sm int, id LoadID, n uint64) {
 	c := &in.perSM[sm]
 	if in.EagerAttribution {
 		// Ablation: charge immediately to main memory (the only level
 		// an eager classifier can safely assume for an in-flight
 		// miss). The default deferred scheme is the paper's.
-		c.MemData[WhereMemory]++
+		c.MemData[WhereMemory] += n
 		return
 	}
 	if id == 0 {
 		// No load identified (e.g. dependency already resolved this
 		// cycle): local L1 is the closest service point.
-		c.MemData[WhereL1]++
+		c.MemData[WhereL1] += n
 		return
 	}
 	p := in.pending[id]
@@ -169,10 +175,10 @@ func (in *Inspector) recordMemData(sm int, id LoadID) {
 		in.pending[id] = p
 	}
 	if p.done {
-		c.MemData[p.where]++
+		c.MemData[p.where] += n
 		return
 	}
-	p.accrued++
+	p.accrued += n
 }
 
 // LoadCompleted tells the Inspector where a load was serviced. Accrued

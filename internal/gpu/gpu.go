@@ -16,6 +16,11 @@ type GPU struct {
 	Insp *core.Inspector
 	SMs  []*SM
 
+	// EngineStats holds the scheduling counters of the most recent Run
+	// (steps executed, skip-ahead jumps, cycles skipped). It is not part
+	// of the Report: every engine mode produces identical Reports.
+	EngineStats sim.EngineStats
+
 	kernel     *Kernel
 	nextBlock  int
 	blocksDone int
@@ -124,26 +129,39 @@ func (s *smSlot) creditIdle(end uint64, insp *core.Inspector) {
 	insp.RecordIdleSpan(s.sm.id, end-s.idleFrom)
 }
 
+// NextEvent implements sim.NextEventer for the skip-ahead engine.
+func (s *smSlot) NextEvent(now uint64) uint64 { return s.sm.NextEvent(now) }
+
+// SkipAhead implements sim.Skipper: the engine jumped over cycles
+// [from, to), during which the SM's classification provably could not
+// change, so the classification observed at from-1 is credited once per
+// skipped cycle — exactly the counts (and timeline) a dense loop would
+// have accumulated one cycle at a time.
+func (s *smSlot) SkipAhead(from, to uint64) {
+	s.sm.gpu.Insp.RecordCycleSpan(s.sm.id, s.sm.lastClass, to-from)
+}
+
 // Diagnose implements sim.Diagnoser for engine deadlock dumps.
 func (s *smSlot) Diagnose() string { return s.sm.Diagnose() }
 
 // Run drives the launched kernel to completion and returns the cycle
 // count. Every component — mesh, memory controller, L2 banks, per-core
-// memory units, SMs — registers individually with a quiescence-aware
-// engine (or the dense reference loop when Cfg.DenseTicking is set), in
-// the same order the dense compound Tick evaluates them, so both loops
-// produce byte-identical results. It resolves GSI's deferred attribution
-// before returning.
+// memory units, SMs — registers individually with the engine selected by
+// Cfg.EngineMode (skip-ahead by default), in the same order the dense
+// compound Tick evaluates them, so all modes produce byte-identical
+// results. It resolves GSI's deferred attribution before returning and
+// records the engine's scheduling counters in EngineStats.
 func (g *GPU) Run() (uint64, error) {
 	if g.kernel == nil {
 		return 0, fmt.Errorf("gpu: no kernel launched")
 	}
+	mode := g.Cfg.EngineMode()
 	eng := sim.NewEngine()
-	eng.SetDense(g.Cfg.DenseTicking)
+	eng.SetMode(mode)
 	g.Sys.Attach(eng)
 	slots := make([]*smSlot, len(g.SMs))
 	for i, sm := range g.SMs {
-		slots[i] = &smSlot{sm: sm, track: !g.Cfg.DenseTicking}
+		slots[i] = &smSlot{sm: sm, track: mode != sim.EngineDense}
 		eng.Register(fmt.Sprintf("sm%d", i), slots[i])
 	}
 	cycles, err := eng.Run(g.Done, g.Cfg.MaxCycles)
@@ -151,5 +169,6 @@ func (g *GPU) Run() (uint64, error) {
 		s.creditIdle(eng.Cycle(), g.Insp)
 	}
 	g.Insp.Flush()
+	g.EngineStats = eng.Stats()
 	return cycles, err
 }

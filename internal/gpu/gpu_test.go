@@ -449,3 +449,66 @@ func TestWatchdogDumpsDiagnosis(t *testing.T) {
 		}
 	}
 }
+
+// TestEnginesAgreeOnEmptyReleaseFlush pins a subtle skip-ahead hazard: a
+// release atomic issued with an empty store buffer starts a flush that is
+// already complete, and the core memory unit's next tick must clear it and
+// dispatch the atomic. A second SM sits in a long SFU dependency chain, so
+// the skip-ahead engine has a far event it could wrongly jump to if the
+// flushing unit failed to demand the very next cycle — which would delay
+// the release and diverge from the dense loop.
+func TestEnginesAgreeOnEmptyReleaseFlush(t *testing.T) {
+	const lock = uint64(0x1_0000)
+	// One program, two blocks: block 0 runs the SFU chain, block 1 the
+	// back-to-back release atomics (nothing dirty, so both flushes are
+	// empty).
+	b := isa.NewBuilder("mixed")
+	release := b.NewLabel()
+	b.BNE(11, 12, release) // block 1 jumps to the release path
+	b.MovI(1, 7)
+	for i := 0; i < 8; i++ {
+		b.SFU(1, 1)
+	}
+	b.St(1, int64(lock+64), 1)
+	b.Exit()
+	b.Bind(release)
+	b.MovI(1, int64(lock)).MovI(2, 1)
+	b.AtomAdd(3, 1, 2, isa.Release)
+	b.AtomAdd(3, 1, 2, isa.Release)
+	b.Exit()
+	prog := b.MustBuild()
+
+	runMode := func(mode sim.EngineMode) (uint64, [2]core.Counts) {
+		cfg := smallCfg(2)
+		cfg.Engine = mode
+		g, err := gpu.New(cfg, coherence.PoliciesFor(2, coherence.DeNovo{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := &gpu.Kernel{
+			Name: "mixed", Program: prog, Blocks: 2, WarpsPerBlock: 1,
+			InitRegs: func(block, warp int, regs *[isa.NumRegs]uint64) {
+				regs[11] = uint64(block)
+				regs[12] = 0
+			},
+		}
+		cycles := run(t, g, k)
+		if got := g.Sys.Backing.Load64(lock); got != 2 {
+			t.Fatalf("%s: lock = %d, want 2", mode, got)
+		}
+		return cycles, [2]core.Counts{*g.Insp.SM(0), *g.Insp.SM(1)}
+	}
+	denseCycles, denseCounts := runMode(sim.EngineDense)
+	for _, mode := range []sim.EngineMode{sim.EngineQuiescent, sim.EngineSkip} {
+		cycles, counts := runMode(mode)
+		if cycles != denseCycles {
+			t.Errorf("%s: %d cycles, dense: %d", mode, cycles, denseCycles)
+		}
+		// The total is dominated by the SFU chain, so a delayed release
+		// would hide in the cycle count — but it shifts the releasing
+		// SM's breakdown from idle toward synchronization stalls.
+		if counts != denseCounts {
+			t.Errorf("%s: per-SM counts diverge from dense:\n%+v\nvs\n%+v", mode, counts, denseCounts)
+		}
+	}
+}

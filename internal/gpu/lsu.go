@@ -2,12 +2,12 @@ package gpu
 
 import (
 	"fmt"
-	"sort"
 
 	"gsi/internal/core"
 	"gsi/internal/isa"
 	"gsi/internal/mem"
 	"gsi/internal/scratchpad"
+	"gsi/internal/sim"
 )
 
 // LSU is an SM's load/store unit. It holds at most one warp memory
@@ -24,6 +24,13 @@ type LSU struct {
 
 	tracks map[core.LoadID]*loadTrack
 	comps  []compEvent
+
+	// Reusable per-access buffers: lane address expansion, line
+	// deduplication, and L1 bank tallies run for every memory
+	// instruction, so they must not allocate.
+	addrBuf   []uint64
+	linesBuf  []uint64
+	bankCount []uint16
 
 	// Stats.
 	Accepted, LinesIssued uint64
@@ -138,35 +145,53 @@ func (l *LSU) Accept(w *Warp, in isa.Instr, cycle uint64) {
 	}
 }
 
-// laneAddrs expands an instruction into per-lane addresses.
+// laneAddrs expands an instruction into per-lane addresses. The returned
+// slice aliases a reusable buffer: it is valid until the next laneAddrs
+// call on this LSU.
 func (l *LSU) laneAddrs(w *Warp, in isa.Instr) []uint64 {
+	addrs := l.addrBuf[:0]
 	if !in.Op.IsVector() {
-		return []uint64{w.regs[in.Ra] + uint64(in.Imm)}
+		addrs = append(addrs, w.regs[in.Ra]+uint64(in.Imm))
+		l.addrBuf = addrs
+		return addrs
 	}
 	lanes := in.Lanes
 	if lanes <= 0 || lanes > l.sm.gpu.Cfg.WarpSize {
 		lanes = l.sm.gpu.Cfg.WarpSize
 	}
 	base := w.regs[in.Ra]
-	addrs := make([]uint64, lanes)
-	for i := range addrs {
-		addrs[i] = base + uint64(i)*uint64(in.Imm)
+	for i := 0; i < lanes; i++ {
+		addrs = append(addrs, base+uint64(i)*uint64(in.Imm))
 	}
+	l.addrBuf = addrs
 	return addrs
 }
 
 // distinctLines returns the sorted distinct line bases touched by addrs.
-func distinctLines(addrs []uint64, lineSize uint64) []uint64 {
-	seen := make(map[uint64]struct{}, 4)
-	var lines []uint64
+// The returned slice aliases a reusable buffer, valid until the next call;
+// a warp touches at most a few lines, so linear dedup plus insertion sort
+// beats the map-and-sort it replaces.
+func (l *LSU) distinctLines(addrs []uint64, lineSize uint64) []uint64 {
+	lines := l.linesBuf[:0]
 	for _, a := range addrs {
 		ln := a &^ (lineSize - 1)
-		if _, ok := seen[ln]; !ok {
-			seen[ln] = struct{}{}
+		dup := false
+		for _, e := range lines {
+			if e == ln {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			lines = append(lines, ln)
 		}
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for i := 1; i < len(lines); i++ {
+		for j := i; j > 0 && lines[j-1] > lines[j]; j-- {
+			lines[j-1], lines[j] = lines[j], lines[j-1]
+		}
+	}
+	l.linesBuf = lines
 	return lines
 }
 
@@ -175,8 +200,12 @@ func distinctLines(addrs []uint64, lineSize uint64) []uint64 {
 func (l *LSU) l1BankOccupancy(lines []uint64) int {
 	banks := l.sm.gpu.Cfg.L1Banks
 	lineSize := uint64(l.sm.gpu.Cfg.LineSize)
-	counts := make(map[int]int, banks)
-	maxCount := 1
+	if l.bankCount == nil {
+		l.bankCount = make([]uint16, banks)
+	}
+	counts := l.bankCount
+	clear(counts)
+	maxCount := uint16(1)
 	for _, ln := range lines {
 		b := int(ln/lineSize) % banks
 		counts[b]++
@@ -184,14 +213,14 @@ func (l *LSU) l1BankOccupancy(lines []uint64) int {
 			maxCount = counts[b]
 		}
 	}
-	return maxCount
+	return int(maxCount)
 }
 
 func (l *LSU) acceptGlobal(op *memOp, cycle uint64) {
 	in := op.in
 	w := op.warp
 	addrs := l.laneAddrs(w, in)
-	lines := distinctLines(addrs, uint64(l.sm.gpu.Cfg.LineSize))
+	lines := l.distinctLines(addrs, uint64(l.sm.gpu.Cfg.LineSize))
 	// The coalescer emits one line request per cycle, and requests that
 	// collide on an L1 bank serialize further; either way the LSU stays
 	// occupied (bank-conflict structural stalls for followers).
@@ -292,7 +321,7 @@ func (l *LSU) acceptStash(op *memOp, addrs []uint64, cycle uint64) {
 	if occ > 1 {
 		l.busyUntil = cycle + uint64(occ-1)
 	}
-	lines := distinctLines(addrs, uint64(l.sm.gpu.Cfg.LineSize))
+	lines := l.distinctLines(addrs, uint64(l.sm.gpu.Cfg.LineSize))
 	if in.Op.IsStore() {
 		// Stash stores: write-allocate locally, dirty lines register
 		// through the store buffer (lazy, coherent write-back).
@@ -459,6 +488,36 @@ func (l *LSU) lineDone(id core.LoadID, where core.DataWhere) {
 	delete(l.tracks, id)
 	tr.warp.loadArrived(tr.rd, id, tr.value)
 	l.sm.gpu.Insp.LoadCompleted(id, tr.lastWhere)
+}
+
+// NextEvent supports the SM's skip-ahead promise: the earliest cycle after
+// now at which the LSU's Tick does real work, or sim.NoEvent when it only
+// waits on external fills. A blocked current op whose busy window has
+// passed retries submit every cycle — and those retries bump MSHR/store
+// buffer stall statistics exactly as a dense loop would — so it forbids
+// jumping outright. The one exception is an op parked on a pending DMA:
+// its retry is a pure no-op until the bulk load finishes (an external,
+// fill-driven event).
+func (l *LSU) NextEvent(now uint64) uint64 {
+	if l.cur != nil && !l.cur.dmaWait && l.busyUntil <= now {
+		return now + 1
+	}
+	next := sim.NoEvent
+	for _, e := range l.comps {
+		if e.at < next {
+			next = e.at
+		}
+	}
+	if l.busyUntil > now && l.busyUntil < next {
+		// Either the current op submits then, or CanAccept stops
+		// reporting a bank conflict then — both can change what the
+		// issue stage observes.
+		next = l.busyUntil
+	}
+	if next != sim.NoEvent && next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // PendingLoads reports in-flight warp loads (quiescence checks).

@@ -7,6 +7,7 @@ import (
 	"gsi/internal/isa"
 	"gsi/internal/mem"
 	"gsi/internal/scratchpad"
+	"gsi/internal/sim"
 )
 
 // SM is one streaming multiprocessor. Its Tick runs the local-memory
@@ -43,6 +44,16 @@ type SM struct {
 	// starts) — so stall-heavy cycles reuse the previous order instead of
 	// re-sorting.
 	orderValid bool
+
+	// lastClass is the cycle classification recorded by the most recent
+	// issue stage; when the engine skips ahead over a window in which
+	// nothing can change, the same classification is credited for every
+	// skipped cycle (see SkipAhead on the GPU's smSlot).
+	lastClass core.CycleClass
+	// issuedThisTick reports whether any warp issued during the most
+	// recent tick: SM state changed, so NextEvent makes no promise beyond
+	// the next cycle.
+	issuedThisTick bool
 
 	// Stats.
 	InstrsIssued uint64
@@ -125,6 +136,7 @@ func (sm *SM) Tick(cycle uint64) bool {
 // them) and records the cycle with the Inspector.
 func (sm *SM) issueStage(cycle uint64) {
 	sm.obsBuf = sm.obsBuf[:0]
+	sm.issuedThisTick = false
 	if sm.kernel != nil {
 		sm.slots = sm.gpu.Cfg.IssueWidth
 		// Greedy-then-oldest: the warp that issued last keeps priority
@@ -136,7 +148,7 @@ func (sm *SM) issueStage(cycle uint64) {
 			sm.considerWarp(sm.warps[idx], cycle)
 		}
 	}
-	sm.gpu.Insp.Observe(sm.id, sm.obsBuf)
+	sm.lastClass = sm.gpu.Insp.Observe(sm.id, sm.obsBuf)
 }
 
 // schedOrder builds the warp consideration order: greedy warp first, the
@@ -211,6 +223,7 @@ func (sm *SM) considerWarp(w *Warp, cycle uint64) {
 				sm.greedy = w.idx
 				w.lastIssue = cycle
 				sm.orderValid = false
+				sm.issuedThisTick = true
 				sm.execute(w, in, cycle)
 			}
 		}
@@ -311,6 +324,103 @@ func (sm *SM) Diagnose() string {
 	}
 	return fmt.Sprintf("kernel=%s block=%d warps ready=%d barrier=%d atomic=%d finished=%d lsu-busy=%v %s",
 		sm.kernel.Name, sm.block, ready, barrier, atomic, finished, !sm.lsu.Idle(), sm.dma.Diagnose())
+}
+
+// NextEvent supports the engine's skip-ahead extension. Called after the
+// SM's tick at cycle now, it returns the earliest cycle at which the SM's
+// observable behavior — issue decisions and per-cycle classification —
+// could change, sim.NoEvent when every blocked warp waits on an external
+// event (an in-flight load, atomic response, or barrier peer whose own
+// progress is bounded elsewhere), or now+1 when no promise can be made
+// (something issued this cycle, the DMA engine or LSU works every cycle, a
+// warp is issuable). The promise never under-reports: jumping to the
+// returned cycle and ticking from there is indistinguishable from ticking
+// densely through the gap.
+func (sm *SM) NextEvent(now uint64) uint64 {
+	if sm.kernel == nil {
+		return sim.NoEvent // drained: the engine never consults an idle SM
+	}
+	if sm.issuedThisTick {
+		return now + 1
+	}
+	next := sim.NoEvent
+	if sm.localKind == LocalScratchDMA {
+		if t := sm.dma.NextEvent(now); t < next {
+			next = t
+		}
+	}
+	if t := sm.lsu.NextEvent(now); t < next {
+		next = t
+	}
+	if next <= now+1 {
+		return now + 1
+	}
+	for _, w := range sm.warps {
+		if w.state != warpReady {
+			// Finished warps do nothing; atomic- and barrier-blocked
+			// warps wait on external events (the response in flight, a
+			// peer warp whose own hazards are scanned here).
+			continue
+		}
+		if now < w.ibufReadyAt {
+			// Control stall: constant until the buffer refills.
+			if w.ibufReadyAt < next {
+				next = w.ibufReadyAt
+			}
+			continue
+		}
+		in := w.next()
+		var external, hazard bool
+		var nextReady uint64
+		if s := &w.haz; s.valid && s.pc == w.pc && (s.expiresAt == 0 || now < s.expiresAt) {
+			// considerWarp scanned this warp's operands this very cycle;
+			// reuse its cached summary instead of re-walking the board.
+			external, hazard = s.memHaz, s.memHaz || s.compHaz
+			nextReady = s.expiresAt
+		} else {
+			external, nextReady, hazard = w.nextBoardEvent(in, now)
+		}
+		if hazard {
+			// A pending-load hazard is external and shadows compute
+			// retirements (MemData outranks CompData and the warp stays
+			// blocked either way); a compute-only hazard clears at the
+			// earliest operand retirement.
+			if !external {
+				if nextReady <= now {
+					return now + 1
+				}
+				if nextReady < next {
+					next = nextReady
+				}
+			}
+			continue
+		}
+		// No data hazard: the warp is structurally gated or issuable.
+		switch in.Op.Class() {
+		case isa.ClassMem, isa.ClassAtomic:
+			if ok, _ := sm.lsu.CanAccept(now); ok {
+				return now + 1 // issuable: no promise
+			}
+			// Gated by the LSU or a pending release; the LSU's own
+			// timer (counted above) or the external event that frees
+			// it bounds the window.
+		case isa.ClassSFU:
+			if sm.sfuBusyUntil <= now {
+				return now + 1 // issuable: no promise
+			}
+			if sm.sfuBusyUntil < next {
+				next = sm.sfuBusyUntil
+			}
+		default:
+			// An issuable ALU/control/barrier instruction that did not
+			// issue only lost arbitration; it can issue next cycle.
+			return now + 1
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // onLoadDone dispatches fill completions to their unit.

@@ -607,6 +607,35 @@ func (c *CoreMem) fill(line uint64, where core.DataWhere) {
 	}
 }
 
+// NextEvent implements the engine's skip-ahead extension: the earliest
+// cycle after now at which Tick has real work. A draining flush and a
+// dispatchable release atomic are one-per-cycle work (next cycle); local
+// atomics and the outbox carry their own due times; a flush waiting only on
+// acks is external (the acks arrive through Deliver, which is bounded by
+// the mesh's own next event).
+func (c *CoreMem) NextEvent(now uint64) uint64 {
+	if c.flushing && (len(c.flushQ) > 0 || len(c.acksWanted) == 0) {
+		// Either a line drains next cycle, or the flush is already
+		// complete (an empty-buffer flush started after this unit's
+		// tick) and the next tick must clear it — and possibly
+		// dispatch a waiting release atomic.
+		return now + 1
+	}
+	if !c.flushing && len(c.releaseQ) > 0 {
+		return now + 1
+	}
+	next := c.out.nextDue()
+	for _, la := range c.localAtomics {
+		if la.at < next {
+			next = la.at
+		}
+	}
+	if next != noEvent && next <= now {
+		return now + 1
+	}
+	return next
+}
+
 // Quiesced reports that no miss, flush, atomic, or outbound message is in
 // flight.
 func (c *CoreMem) Quiesced() bool {

@@ -269,6 +269,27 @@ func (b *L2Bank) Quiesced() bool {
 	return len(b.inQ) == 0 && len(b.pending) == 0 && b.out.pending() == 0
 }
 
+// NextEvent implements the engine's skip-ahead extension: the earliest
+// cycle after now at which the bank can process a queued message (once its
+// occupancy window ends) or inject a due response. In-flight memory fills
+// re-arm the bank through Deliver and are therefore external.
+func (b *L2Bank) NextEvent(now uint64) uint64 {
+	next := b.out.nextDue()
+	if len(b.inQ) > 0 {
+		t := b.busyUntil
+		if t < now+1 {
+			t = now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if next != noEvent && next <= now {
+		return now + 1
+	}
+	return next
+}
+
 // Diagnose describes pending work for engine deadlock dumps.
 func (b *L2Bank) Diagnose() string {
 	return fmt.Sprintf("inq=%d fills=%d out=%d", len(b.inQ), len(b.pending), b.out.pending())

@@ -81,6 +81,30 @@ func (m *MemCtrl) Tick(cycle uint64) bool {
 // Pending reports queued plus in-flight requests (for quiescence checks).
 func (m *MemCtrl) Pending() int { return len(m.queue) + len(m.inflight) }
 
+// NextEvent implements the engine's skip-ahead extension: the earliest
+// cycle after now at which the controller can start a queued request or
+// complete an in-flight one. inflight is sorted by readyAt (service starts
+// are monotonic), so its head is the earliest completion.
+func (m *MemCtrl) NextEvent(now uint64) uint64 {
+	next := noEvent
+	if len(m.inflight) > 0 {
+		next = m.inflight[0].readyAt
+	}
+	if len(m.queue) > 0 {
+		start := m.nextStart
+		if start < now+1 {
+			start = now + 1
+		}
+		if start < next {
+			next = start
+		}
+	}
+	if next != noEvent && next <= now {
+		return now + 1
+	}
+	return next
+}
+
 // Diagnose describes pending requests for engine deadlock dumps.
 func (m *MemCtrl) Diagnose() string {
 	return fmt.Sprintf("queued=%d inflight=%d served=%d", len(m.queue), len(m.inflight), m.Requests)

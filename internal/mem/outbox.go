@@ -49,3 +49,18 @@ func (o *outbox) tick(cycle uint64) {
 }
 
 func (o *outbox) pending() int { return len(o.q) }
+
+// nextDue returns the earliest due time among queued messages, or
+// sim.NoEvent when the outbox is empty. After a tick at cycle c every
+// remaining message is due strictly after c, so the value bounds a
+// skip-ahead jump exactly.
+func (o *outbox) nextDue() uint64 {
+	if len(o.q) == 0 {
+		return noEvent
+	}
+	return o.next
+}
+
+// noEvent mirrors sim.NoEvent without importing the package into this
+// low-level helper.
+const noEvent = ^uint64(0)

@@ -205,6 +205,38 @@ func (m *Mesh) Tick(cycle uint64) bool {
 // Quiesced reports whether no messages are buffered anywhere in the mesh.
 func (m *Mesh) Quiesced() bool { return m.Stats.InFlight == 0 }
 
+// noEvent mirrors sim.NoEvent (the package is deliberately free of
+// simulator dependencies).
+const noEvent = ^uint64(0)
+
+// NextEvent implements the engine's skip-ahead extension: the earliest
+// cycle after now at which any router can move a message. Ticks only ever
+// pop queue heads, so the minimum head readyAt across all output queues is
+// exact; a head already due means the next tick has work.
+func (m *Mesh) NextEvent(now uint64) uint64 {
+	if m.Stats.InFlight == 0 {
+		return noEvent
+	}
+	next := noEvent
+	for i := range m.routers {
+		r := &m.routers[i]
+		if r.queued == 0 {
+			continue
+		}
+		for dir := 0; dir < numDirs; dir++ {
+			if q := r.out[dir].q; len(q) > 0 {
+				if t := q[0].readyAt; t < next {
+					next = t
+				}
+			}
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
 // Diagnose describes pending traffic for engine deadlock dumps.
 func (m *Mesh) Diagnose() string {
 	return fmt.Sprintf("in-flight=%d injected=%d delivered=%d",

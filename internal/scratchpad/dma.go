@@ -222,6 +222,30 @@ func (d *DMAEngine) Quiesced() bool {
 	return d.state == DMAIdle || d.state == DMAReady || d.state == DMADone
 }
 
+// noEvent mirrors sim.NoEvent.
+const noEvent = ^uint64(0)
+
+// NextEvent implements the engine's skip-ahead extension for the SM that
+// hosts this engine: while a transfer still has lines to issue (or MSHR-full
+// retries to make) the engine works — and counts retry stats — every cycle,
+// and once the final line completes synchronously (an L1 hit) the phase
+// transition itself happens on the next tick. Only a transfer whose issued
+// lines are all waiting on fills or write acks is a pure external waiter
+// (the last arrival performs the transition directly).
+func (d *DMAEngine) NextEvent(now uint64) uint64 {
+	switch d.state {
+	case DMALoading:
+		if d.nextIn < d.mapping.Bytes || len(d.pendingIn) == 0 {
+			return now + 1
+		}
+	case DMAWritingBack:
+		if d.nextOut < d.mapping.Bytes || len(d.pendingOut) == 0 {
+			return now + 1
+		}
+	}
+	return noEvent
+}
+
 // Diagnose describes the transfer state for engine deadlock dumps.
 func (d *DMAEngine) Diagnose() string {
 	return fmt.Sprintf("dma state=%d pending-in=%d pending-out=%d",

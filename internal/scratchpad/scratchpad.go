@@ -15,6 +15,9 @@ import "fmt"
 type Scratchpad struct {
 	words []uint64
 	banks int
+	// laneCounts is the reusable per-bank tally of ConflictCycles — the
+	// conflict check runs for every local access, so it must not allocate.
+	laneCounts []uint16
 }
 
 // New builds a scratchpad of size bytes with the given bank count.
@@ -58,8 +61,12 @@ func (s *Scratchpad) ConflictCycles(addrs []uint64) int {
 	if len(addrs) == 0 {
 		return 1
 	}
-	counts := make(map[int]int, s.banks)
-	maxCount := 0
+	if s.laneCounts == nil {
+		s.laneCounts = make([]uint16, s.banks)
+	}
+	counts := s.laneCounts
+	clear(counts)
+	maxCount := uint16(0)
 	for _, a := range addrs {
 		b := int(a/8) % s.banks
 		counts[b]++
@@ -67,5 +74,5 @@ func (s *Scratchpad) ConflictCycles(addrs []uint64) int {
 			maxCount = counts[b]
 		}
 	}
-	return maxCount
+	return int(maxCount)
 }

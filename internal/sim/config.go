@@ -92,13 +92,26 @@ type Config struct {
 
 	// --- Engine ---
 
-	// DenseTicking selects the legacy dense scheduling loop: every
-	// component ticks every cycle whether or not it has pending work.
-	// The default (false) uses the quiescence-aware active set, which
-	// produces byte-identical results while skipping idle components;
-	// the dense loop is kept as the reference for cross-engine diff
-	// tests and for isolating scheduler bugs.
+	// Engine selects the scheduling loop. The zero value (EngineSkip)
+	// is the event-driven skip-ahead engine; EngineQuiescent keeps the
+	// active set but ticks every cycle; EngineDense is the reference
+	// loop that ticks every component every cycle. All three produce
+	// byte-identical results.
+	Engine EngineMode
+
+	// DenseTicking is the legacy switch for the dense reference loop,
+	// kept for older callers; when set it overrides Engine. Prefer
+	// Engine = EngineDense.
 	DenseTicking bool
+}
+
+// EngineMode resolves the scheduling loop, honoring the legacy
+// DenseTicking switch.
+func (c Config) EngineMode() EngineMode {
+	if c.DenseTicking {
+		return EngineDense
+	}
+	return c.Engine
 }
 
 // Default returns the Table 5.1 configuration: 1 CPU + 15 SMs on a 4x4 mesh

@@ -4,13 +4,21 @@
 // or map iteration order ever influences timing, so a given configuration
 // always produces the identical result.
 //
-// The engine is quiescence-aware: a component reports from Tick whether it
-// still has pending work, and an idle component leaves the active set until
-// something re-arms it through its registration Handle. Because an idle
-// component's Tick is required to be a pure no-op, skipping it cannot change
-// the simulation — the dense loop (Config.DenseTicking, which ticks every
-// component every cycle) produces byte-identical results and serves as the
-// reference in cross-engine diff tests.
+// The engine runs in one of three modes that all produce byte-identical
+// results and differ only in per-cycle cost:
+//
+//   - EngineDense ticks every component every cycle — the reference loop.
+//   - EngineQuiescent keeps a deterministic active set: a component reports
+//     from Tick whether it still has pending work, and an idle component
+//     leaves the active set until something re-arms it through its
+//     registration Handle. Because an idle component's Tick is required to
+//     be a pure no-op, skipping it cannot change the simulation.
+//   - EngineSkip (the default) adds event-driven skip-ahead on top of the
+//     active set: when every active component also implements NextEventer
+//     and reports its next event strictly after the next cycle, the engine
+//     jumps the clock straight to the earliest event instead of ticking
+//     through the gap. Components implementing Skipper are told about the
+//     jumped window so they can account the skipped cycles in bulk.
 package sim
 
 import (
@@ -36,11 +44,88 @@ type TickFunc func(cycle uint64) bool
 // Tick implements Component.
 func (f TickFunc) Tick(cycle uint64) bool { return f(cycle) }
 
+// NoEvent is the NextEvent return value of a component whose remaining work
+// waits purely on external input (a message in flight toward it, a wake from
+// another component): it has no internal timer of its own, so it places no
+// bound on a skip-ahead jump.
+const NoEvent = ^uint64(0)
+
+// NextEventer is the optional Component extension that enables event-driven
+// skip-ahead. NextEvent is called after the component's Tick at cycle now
+// and returns the earliest cycle strictly after now at which ticking the
+// component could change any state or produce any output — including
+// per-cycle side effects a dense loop would accumulate (retry counters,
+// one-entry-per-cycle drains). A component that cannot make that promise
+// must return now+1; a component waiting only on external events returns
+// NoEvent. NextEvent must be read-only: it must not mutate simulation state
+// or wake other components (a Wake during the engine's planning pass clamps
+// the jump defensively, see Handle.Wake).
+//
+// The contract is "never under-promise": reporting an event later than it
+// really is loses simulated work; reporting it earlier than necessary only
+// costs a wasted tick and is always safe.
+type NextEventer interface {
+	NextEvent(now uint64) uint64
+}
+
+// Skipper is the optional Component extension notified when the engine
+// jumps over a window: cycles [from, to) were skipped entirely, and the
+// component's next Tick happens at cycle to. Implementations account the
+// window in bulk (e.g. the GPU credits one stall classification per skipped
+// cycle to the Inspector); they must not create new work or wake anyone.
+type Skipper interface {
+	SkipAhead(from, to uint64)
+}
+
 // Diagnoser is an optional Component extension: Diagnose returns a short
 // description of the component's pending work (queue depths, in-flight
 // counts, state-machine phase) for the engine's deadlock dump.
 type Diagnoser interface {
 	Diagnose() string
+}
+
+// EngineMode selects the scheduling loop. The zero value is EngineSkip, the
+// fastest mode; all modes produce byte-identical results.
+type EngineMode uint8
+
+const (
+	// EngineSkip is the quiescence-aware loop plus event-driven
+	// skip-ahead over windows where every active component is a pure
+	// timer-waiter.
+	EngineSkip EngineMode = iota
+	// EngineQuiescent is the quiescence-aware loop without skip-ahead:
+	// idle components cost nothing, but the clock still advances one
+	// cycle at a time.
+	EngineQuiescent
+	// EngineDense ticks every component every cycle — the reference loop
+	// for cross-engine diff tests and scheduler-bug isolation.
+	EngineDense
+)
+
+// String names the mode as accepted by the CLIs' -engine flag.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineSkip:
+		return "skip"
+	case EngineQuiescent:
+		return "quiescent"
+	case EngineDense:
+		return "dense"
+	}
+	return fmt.Sprintf("EngineMode(%d)", uint8(m))
+}
+
+// ParseEngineMode parses a -engine flag value.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "skip", "skip-ahead", "skipahead":
+		return EngineSkip, nil
+	case "quiescent", "quiesce":
+		return EngineQuiescent, nil
+	case "dense":
+		return EngineDense, nil
+	}
+	return EngineSkip, fmt.Errorf("sim: unknown engine mode %q (want dense, quiescent, or skip)", s)
 }
 
 // Handle re-arms a registered component. Waking is idempotent and may happen
@@ -53,32 +138,92 @@ type Handle struct {
 	id int
 }
 
-// Wake puts the component back in the active set.
+// Wake puts the component back in the active set. A Wake that lands while
+// the engine is planning a skip-ahead jump clamps the jump: new work just
+// arrived, so the woken component must tick on the very next cycle exactly
+// as it would under a dense loop.
 func (h Handle) Wake() {
-	if !h.e.active[h.id] {
-		h.e.active[h.id] = true
-		h.e.activeCount++
+	e := h.e
+	if e.planning {
+		e.wokeDuringPlan = true
+	}
+	if !e.active[h.id] {
+		e.active[h.id] = true
+		e.activeCount++
 	}
 }
 
+// EngineStats counts scheduling work for benchmarks and tests; it is not
+// part of any Report (all engine modes produce identical Reports).
+type EngineStats struct {
+	// Steps is the number of cycles actually executed (tick passes).
+	Steps uint64
+	// Jumps is the number of skip-ahead jumps taken.
+	Jumps uint64
+	// SkippedCycles is the total width of all jumped windows: simulated
+	// cycles that were accounted without a tick pass.
+	SkippedCycles uint64
+}
+
 // Engine drives the simulation: a single-threaded cycle loop over the
-// registered components that skips components with no pending work.
+// registered components that skips components with no pending work and, in
+// skip mode, jumps gaps where every active component is waiting on a timer.
 type Engine struct {
 	cycle       uint64
 	comps       []Component
 	names       []string
 	active      []bool
 	activeCount int
-	dense       bool
+	mode        EngineMode
+
+	// nexters caches the NextEventer assertion per component (nil when
+	// not implemented), and skippers the Skipper assertion, so planning
+	// a jump costs no interface type switches.
+	nexters  []NextEventer
+	skippers []Skipper
+
+	// skipLimit bounds jumps so the watchdog in Run fires at exactly the
+	// same cycle it would under the dense loop.
+	skipLimit      uint64
+	planning       bool
+	wokeDuringPlan bool
+	// lastBound is the component that clamped the previous failed plan
+	// to the very next cycle; consulting it first lets the common
+	// no-jump case abort after a single NextEvent call. The heuristic is
+	// a pure function of simulation state, so determinism is unaffected.
+	lastBound int
+	// planBackoff delays the next planning attempt after consecutive
+	// failures (capped exponential): event-dense phases stop paying for
+	// plans that cannot jump, at the cost of entering a jumpable window
+	// up to a few cycles late. Purely a wall-clock heuristic — skipped
+	// plans only mean ticked-through cycles, never different results.
+	planBackoff, planFails uint32
+
+	stats EngineStats
 }
 
-// NewEngine returns an empty quiescence-aware engine at cycle 0.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine at cycle 0 in the default (skip-ahead)
+// mode.
+func NewEngine() *Engine { return &Engine{skipLimit: NoEvent, lastBound: -1} }
 
-// SetDense switches the engine to the dense reference loop: every component
-// ticks every cycle regardless of the active set. Results are identical;
-// only the per-cycle cost differs.
-func (e *Engine) SetDense(dense bool) { e.dense = dense }
+// SetMode selects the scheduling loop.
+func (e *Engine) SetMode(m EngineMode) { e.mode = m }
+
+// Mode returns the current scheduling loop.
+func (e *Engine) Mode() EngineMode { return e.mode }
+
+// SetDense is a legacy switch kept for harness code: true selects the dense
+// reference loop, false the default skip-ahead mode.
+func (e *Engine) SetDense(dense bool) {
+	if dense {
+		e.mode = EngineDense
+	} else {
+		e.mode = EngineSkip
+	}
+}
+
+// Stats returns scheduling counters accumulated since construction.
+func (e *Engine) Stats() EngineStats { return e.stats }
 
 // Register appends a component to the tick order and returns its wake
 // handle. Registration order defines evaluation order within a cycle;
@@ -90,6 +235,10 @@ func (e *Engine) Register(name string, c Component) Handle {
 	e.names = append(e.names, name)
 	e.active = append(e.active, true)
 	e.activeCount++
+	ne, _ := c.(NextEventer)
+	e.nexters = append(e.nexters, ne)
+	sk, _ := c.(Skipper)
+	e.skippers = append(e.skippers, sk)
 	return Handle{e: e, id: len(e.comps) - 1}
 }
 
@@ -123,11 +272,18 @@ var ErrStalled = errors.New("sim: all components idle before completion")
 // still held work instead of leaving a timeout opaque.
 func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
+	e.skipLimit = NoEvent
+	if maxCycles < NoEvent-start {
+		// Jumping past the watchdog would report a different cycle count
+		// than the dense loop; clamp jumps to the limit instead.
+		e.skipLimit = start + maxCycles
+	}
+	defer func() { e.skipLimit = NoEvent }()
 	for !done() {
 		if e.cycle-start >= maxCycles {
 			return e.cycle - start, fmt.Errorf("%w (%d)\n%s", ErrMaxCycles, maxCycles, e.Diagnosis())
 		}
-		if !e.dense && e.activeCount == 0 {
+		if e.mode != EngineDense && e.activeCount == 0 {
 			return e.cycle - start, fmt.Errorf("%w (cycle %d)\n%s", ErrStalled, e.cycle, e.Diagnosis())
 		}
 		e.Step()
@@ -139,10 +295,13 @@ func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 // registration order (every component, in dense mode). A component woken
 // during the pass ticks this cycle if its slot has not passed yet, next
 // cycle otherwise — matching when the dense loop would first have it see
-// the new work.
+// the new work. In skip mode, a completed cycle whose active components are
+// all waiting on known future events advances the clock straight to the
+// earliest one.
 func (e *Engine) Step() {
+	dense := e.mode == EngineDense
 	for i, c := range e.comps {
-		if !e.dense && !e.active[i] {
+		if !dense && !e.active[i] {
 			continue
 		}
 		if e.active[i] {
@@ -155,24 +314,134 @@ func (e *Engine) Step() {
 		}
 	}
 	e.cycle++
+	e.stats.Steps++
+	if e.mode == EngineSkip && e.activeCount > 0 {
+		if e.planBackoff > 0 {
+			e.planBackoff--
+		} else if e.trySkip() {
+			e.planFails = 0
+		} else {
+			// Capped exponential backoff: 0, 1, 3, 7, then 15 cycles
+			// between attempts while plans keep failing.
+			if e.planFails < 5 {
+				e.planFails++
+			}
+			e.planBackoff = 1<<e.planFails>>1 - 1
+		}
+	}
+}
+
+// trySkip implements the skip-ahead jump after a completed tick pass. The
+// clock currently sits at the next cycle to execute; if every active
+// component implements NextEventer and the minimum reported event lies
+// strictly beyond it, the window up to that event is credited to Skippers
+// in bulk and the clock jumps. Any Wake observed while planning aborts the
+// jump (an arrival needs the very next cycle), and jumps never cross the
+// watchdog limit installed by Run.
+func (e *Engine) trySkip() (jumped bool) {
+	now := e.cycle - 1 // the cycle the tick pass just executed
+	e.planning, e.wokeDuringPlan = true, false
+	defer func() { e.planning = false }()
+	// Fast path: re-consult the component that clamped the previous failed
+	// plan. If it still demands the very next cycle — the common case in
+	// event-dense phases — the plan aborts after a single call; otherwise
+	// the value is kept so the full scan below does not repeat the call.
+	fastBound, fastT := -1, uint64(0)
+	if b := e.lastBound; b >= 0 && b < len(e.comps) && e.active[b] {
+		ne := e.nexters[b]
+		if ne == nil {
+			return false
+		}
+		if t := ne.NextEvent(now); t <= e.cycle {
+			return false
+		} else {
+			fastBound, fastT = b, t
+		}
+	}
+	target := NoEvent
+	for i := range e.comps {
+		if !e.active[i] {
+			continue
+		}
+		ne := e.nexters[i]
+		if ne == nil {
+			e.lastBound = i
+			return false
+		}
+		t := fastT
+		if i != fastBound {
+			t = ne.NextEvent(now)
+		}
+		if t <= now {
+			// A component may not promise anything earlier than the
+			// next cycle; treat a stale report as "tick me next cycle".
+			t = e.cycle
+		}
+		if t <= e.cycle {
+			// This component clamps the plan to the next cycle: no
+			// jump is possible, stop consulting the rest.
+			e.lastBound = i
+			return false
+		}
+		if t < target {
+			target = t
+		}
+	}
+	e.lastBound = -1
+	if e.wokeDuringPlan || target == NoEvent {
+		// Either new work arrived mid-plan, or every active component is
+		// waiting on an external event that no active component will
+		// produce — tick densely and let the stall detector in Run (or
+		// the events themselves) sort it out.
+		return false
+	}
+	if target > e.skipLimit {
+		target = e.skipLimit
+	}
+	if target <= e.cycle {
+		return false
+	}
+	for i := range e.comps {
+		if !e.active[i] {
+			continue
+		}
+		if s := e.skippers[i]; s != nil {
+			s.SkipAhead(e.cycle, target)
+		}
+	}
+	e.stats.Jumps++
+	e.stats.SkippedCycles += target - e.cycle
+	e.cycle = target
+	return true
 }
 
 // ActiveCount reports how many components currently have pending work.
 func (e *Engine) ActiveCount() int { return e.activeCount }
 
-// Diagnosis renders every registered component's name, busy/idle state, and
-// (for Diagnosers) pending-work description — the deadlock dump attached to
-// ErrMaxCycles and ErrStalled.
+// Diagnosis renders every registered component's name, busy/idle state,
+// next-event time (for NextEventers), and (for Diagnosers) pending-work
+// description — the deadlock dump attached to ErrMaxCycles and ErrStalled.
+// The next-event column says when each busy component expected to make
+// progress; "external" marks a component waiting purely on input from
+// others.
 func (e *Engine) Diagnosis() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "engine diagnosis at cycle %d (%d/%d components busy):\n",
 		e.cycle, e.activeCount, len(e.comps))
+	now := e.LastTick()
 	for i, c := range e.comps {
 		state := "idle"
 		if e.active[i] {
 			state = "busy"
 		}
 		fmt.Fprintf(&sb, "  %-10s %s", e.names[i], state)
+		if ne, ok := c.(NextEventer); ok && e.active[i] {
+			if t := ne.NextEvent(now); t == NoEvent {
+				sb.WriteString("  next-event=external")
+			} else {
+				fmt.Fprintf(&sb, "  next-event=%d", t)
+			}
+		}
 		if d, ok := c.(Diagnoser); ok {
 			fmt.Fprintf(&sb, "  %s", d.Diagnose())
 		}

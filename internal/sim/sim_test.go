@@ -236,7 +236,10 @@ func TestDefaultConfigValid(t *testing.T) {
 		t.Fatalf("cores = %d, cpu = %d", cfg.NumCores(), cfg.CPUCore())
 	}
 	if cfg.DenseTicking {
-		t.Fatal("default config must use the quiescence-aware engine")
+		t.Fatal("default config must not use the dense reference loop")
+	}
+	if cfg.EngineMode() != EngineSkip {
+		t.Fatalf("default engine mode = %s, want skip", cfg.EngineMode())
 	}
 }
 

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// timedComp is a synthetic component driven by an explicit event schedule:
+// Tick fires every due event, appends to a shared log, and (pseudo-randomly
+// but deterministically) schedules follow-up events on itself or a peer —
+// the shape of a real component exchanging timed messages. NextEvent
+// reports the earliest pending event, so the skip-ahead engine may jump
+// straight to it.
+type timedComp struct {
+	name   string
+	events []uint64 // sorted pending event times
+	peer   *timedComp
+	handle Handle
+	rng    uint64
+	log    *[]string
+	// skips records SkipAhead windows for assertions.
+	skips []string
+}
+
+func (c *timedComp) schedule(at uint64) {
+	i := len(c.events)
+	c.events = append(c.events, at)
+	for i > 0 && c.events[i-1] > c.events[i] {
+		c.events[i-1], c.events[i] = c.events[i], c.events[i-1]
+		i--
+	}
+}
+
+func (c *timedComp) next(bound uint64) uint64 {
+	c.rng = c.rng*6364136223846793005 + 1442695040888963407
+	return (c.rng >> 33) % bound
+}
+
+func (c *timedComp) Tick(cycle uint64) bool {
+	for len(c.events) > 0 && c.events[0] <= cycle {
+		at := c.events[0]
+		c.events = c.events[1:]
+		// A late-fired event is exactly an under-promise: the engine
+		// jumped past it. Make the failure visible in the log.
+		status := "ok"
+		if at < cycle {
+			status = fmt.Sprintf("LATE(due=%d)", at)
+		}
+		*c.log = append(*c.log, fmt.Sprintf("%s@%d:%s", c.name, cycle, status))
+		switch c.next(4) {
+		case 0:
+			c.schedule(cycle + 1 + c.next(40))
+		case 1:
+			// Timed "message" to the peer: schedule its event and wake
+			// it, like a mesh delivery re-arming a sleeping unit.
+			c.peer.schedule(cycle + 1 + c.next(25))
+			c.peer.handle.Wake()
+		}
+	}
+	return len(c.events) > 0
+}
+
+func (c *timedComp) NextEvent(now uint64) uint64 {
+	if len(c.events) == 0 {
+		return NoEvent
+	}
+	return c.events[0]
+}
+
+func (c *timedComp) SkipAhead(from, to uint64) {
+	c.skips = append(c.skips, fmt.Sprintf("[%d,%d)", from, to))
+}
+
+// runTimed builds a deterministic two-component event exchange from seed
+// and runs it to quiescence under the given mode, returning the event log
+// and the engine.
+func runTimed(t *testing.T, seed uint64, mode EngineMode) ([]string, *Engine) {
+	t.Helper()
+	var log []string
+	a := &timedComp{name: "a", rng: seed, log: &log}
+	b := &timedComp{name: "b", rng: seed ^ 0x9E3779B97F4A7C15, log: &log}
+	a.peer, b.peer = b, a
+	a.schedule(2 + seed%7)
+	a.schedule(50 + seed%23)
+	b.schedule(5 + seed%13)
+	eng := NewEngine()
+	eng.SetMode(mode)
+	a.handle = eng.Register("a", a)
+	b.handle = eng.Register("b", b)
+	done := func() bool { return len(a.events) == 0 && len(b.events) == 0 }
+	if _, err := eng.Run(done, 1_000_000); err != nil {
+		t.Fatalf("seed %d mode %s: %v", seed, mode, err)
+	}
+	return log, eng
+}
+
+// TestSkipAheadNeverUnderPromises is the property test for the NextEvent
+// contract: across many randomized timed-event exchanges, the skip-ahead
+// engine must fire every event at exactly the cycle the dense and
+// quiescent loops fire it (jumping to the reported cycle and stepping from
+// there is indistinguishable from dense execution), and no event may ever
+// fire late.
+func TestSkipAheadNeverUnderPromises(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		dense, _ := runTimed(t, seed, EngineDense)
+		quiescent, _ := runTimed(t, seed, EngineQuiescent)
+		skip, eng := runTimed(t, seed, EngineSkip)
+		if fmt.Sprint(dense) != fmt.Sprint(quiescent) {
+			t.Fatalf("seed %d: quiescent log diverges from dense:\n%v\nvs\n%v", seed, quiescent, dense)
+		}
+		if fmt.Sprint(dense) != fmt.Sprint(skip) {
+			t.Fatalf("seed %d: skip log diverges from dense:\n%v\nvs\n%v", seed, skip, dense)
+		}
+		for _, e := range skip {
+			if len(e) > 0 && e[len(e)-1] != 'k' { // ":ok" suffix
+				t.Fatalf("seed %d: late event %q under skip-ahead", seed, e)
+			}
+		}
+		if st := eng.Stats(); st.SkippedCycles == 0 {
+			t.Errorf("seed %d: skip-ahead engine never jumped over a timed gap", seed)
+		}
+	}
+}
+
+// TestSkipJumpAndWindows pins the basic jump mechanics: components whose
+// next events are far out get the gap jumped in one step, Skippers are
+// told the exact window, and the engine's cycle lands on the earliest
+// event.
+func TestSkipJumpAndWindows(t *testing.T) {
+	var log []string
+	a := &timedComp{name: "a", log: &log}
+	b := &timedComp{name: "b", log: &log}
+	a.peer, b.peer = b, a
+	a.rng, b.rng = 2, 2 // next(4) sequence avoids rescheduling branches
+	a.schedule(100)
+	b.schedule(150)
+	eng := NewEngine()
+	a.handle = eng.Register("a", a)
+	b.handle = eng.Register("b", b)
+
+	eng.Step() // tick pass at 0, then jump to the earliest event
+	if eng.Cycle() != 100 {
+		t.Fatalf("Cycle after first step = %d, want 100", eng.Cycle())
+	}
+	if len(a.skips) != 1 || a.skips[0] != "[1,100)" {
+		t.Fatalf("a.skips = %v, want [[1,100)]", a.skips)
+	}
+	if len(b.skips) != 1 || b.skips[0] != "[1,100)" {
+		t.Fatalf("b.skips = %v, want [[1,100)]", b.skips)
+	}
+	eng.Step() // fires a@100, then jumps toward b's event
+	if len(log) != 1 || log[0] != "a@100:ok" {
+		t.Fatalf("log = %v", log)
+	}
+	st := eng.Stats()
+	if st.Jumps < 2 || st.SkippedCycles == 0 {
+		t.Fatalf("stats = %+v, want at least 2 jumps", st)
+	}
+}
+
+// nextEventFunc adapts funcs to Component+NextEventer for clamp tests.
+type nextEventFunc struct {
+	tick func(uint64) bool
+	next func(uint64) uint64
+}
+
+func (c *nextEventFunc) Tick(cycle uint64) bool      { return c.tick(cycle) }
+func (c *nextEventFunc) NextEvent(now uint64) uint64 { return c.next(now) }
+
+// TestSkipJumpClampedByWake: a Wake that lands while the engine is
+// planning a jump must clamp (abort) the jump, so the woken component
+// ticks on the very next cycle exactly as it would under a dense loop.
+// The waker here wakes its sleeping peer from inside NextEvent, modeling
+// an arrival racing the plan.
+func TestSkipJumpClampedByWake(t *testing.T) {
+	eng := NewEngine()
+	var sleeperTicks []uint64
+	var sleeper Handle
+	woke := false
+	waker := &nextEventFunc{
+		tick: func(cycle uint64) bool { return cycle < 10 },
+		next: func(now uint64) uint64 {
+			if !woke {
+				woke = true
+				sleeper.Wake() // arrival lands mid-plan
+			}
+			return now + 50
+		},
+	}
+	eng.Register("waker", waker)
+	sleeper = eng.Register("sleeper", TickFunc(func(c uint64) bool {
+		sleeperTicks = append(sleeperTicks, c)
+		return false
+	}))
+
+	eng.Step() // sleeper ticks at 0, quiesces; plan wakes it and must clamp
+	if eng.Cycle() != 1 {
+		t.Fatalf("Cycle = %d, want 1 (jump clamped by mid-plan wake)", eng.Cycle())
+	}
+	eng.Step()
+	if len(sleeperTicks) != 2 || sleeperTicks[1] != 1 {
+		t.Fatalf("sleeper ticks = %v, want [0 1]", sleeperTicks)
+	}
+}
+
+// TestSkipRequiresAllNextEventers: one active component without NextEvent
+// disables jumping entirely — the engine can promise nothing on its
+// behalf.
+func TestSkipRequiresAllNextEventers(t *testing.T) {
+	eng := NewEngine()
+	timer := &nextEventFunc{
+		tick: func(cycle uint64) bool { return true },
+		next: func(now uint64) uint64 { return now + 1000 },
+	}
+	eng.Register("timer", timer)
+	eng.Register("plain", TickFunc(func(uint64) bool { return true }))
+	for i := 0; i < 5; i++ {
+		eng.Step()
+	}
+	if eng.Cycle() != 5 {
+		t.Fatalf("Cycle = %d, want 5 (no jumps with a non-NextEventer active)", eng.Cycle())
+	}
+}
+
+// TestSkipExternalOnlyWaitersDoNotJump: when every active component
+// reports NoEvent (waiting on input none of them will produce), the engine
+// must not jump — it ticks densely so the stall is observable.
+func TestSkipExternalOnlyWaitersDoNotJump(t *testing.T) {
+	eng := NewEngine()
+	ext := &nextEventFunc{
+		tick: func(cycle uint64) bool { return true },
+		next: func(now uint64) uint64 { return NoEvent },
+	}
+	eng.Register("ext", ext)
+	for i := 0; i < 4; i++ {
+		eng.Step()
+	}
+	if eng.Cycle() != 4 {
+		t.Fatalf("Cycle = %d, want 4 (external-only waiters must not jump)", eng.Cycle())
+	}
+}
+
+// TestSkipRespectsWatchdogLimit: a jump may not leap past Run's maxCycles,
+// so the watchdog fires at exactly the cycle count the dense loop reports.
+func TestSkipRespectsWatchdogLimit(t *testing.T) {
+	for _, mode := range []EngineMode{EngineDense, EngineQuiescent, EngineSkip} {
+		eng := NewEngine()
+		eng.SetMode(mode)
+		far := &nextEventFunc{
+			tick: func(cycle uint64) bool { return true },
+			next: func(now uint64) uint64 { return now + 10_000 },
+		}
+		eng.Register("far", far)
+		n, err := eng.Run(func() bool { return false }, 100)
+		if err == nil {
+			t.Fatalf("%s: expected watchdog error", mode)
+		}
+		if n != 100 {
+			t.Fatalf("%s: watchdog fired after %d cycles, want 100", mode, n)
+		}
+	}
+}
+
+// TestSkipDiagnosisIncludesNextEvents: the deadlock dump names when each
+// busy component expected progress, and marks external-only waiters.
+func TestSkipDiagnosisIncludesNextEvents(t *testing.T) {
+	eng := NewEngine()
+	timer := &nextEventFunc{
+		tick: func(cycle uint64) bool { return true },
+		next: func(now uint64) uint64 { return 777 },
+	}
+	ext := &nextEventFunc{
+		tick: func(cycle uint64) bool { return true },
+		next: func(now uint64) uint64 { return NoEvent },
+	}
+	eng.Register("timer", timer)
+	eng.Register("ext", ext)
+	eng.Step()
+	dump := eng.Diagnosis()
+	for _, want := range []string{"next-event=777", "next-event=external"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("diagnosis missing %q:\n%s", want, dump)
+		}
+	}
+}

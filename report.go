@@ -33,6 +33,13 @@ type Report struct {
 	// Timeline is the rendered per-SM stall timeline (empty unless
 	// Options.Timeline was set).
 	Timeline string `json:"timeline,omitempty"`
+
+	// EngineStats counts the scheduling work of the run (tick passes,
+	// skip-ahead jumps, skipped cycles). Excluded from JSON: every
+	// engine mode produces identical simulation results, but their
+	// scheduling cost necessarily differs, and the serialized report is
+	// the byte-identity contract between them.
+	EngineStats EngineStats `json:"-"`
 }
 
 // NetStats summarizes interconnect traffic.
@@ -92,6 +99,7 @@ func newReport(workload string, opt Options, g *gpu.GPU, cycles uint64) *Report 
 	for _, sm := range g.SMs {
 		r.InstrsIssued += sm.InstrsIssued
 	}
+	r.EngineStats = g.EngineStats
 	if g.Insp.Timeline != nil {
 		r.Timeline = g.Insp.Timeline.Render()
 	}

@@ -69,6 +69,12 @@ func NewImplicit(kind LocalMem) Workload {
 	return implicitWorkload{p: workloads.DefaultImplicit(), kind: kind}
 }
 
+// DefaultImplicit returns the microbenchmark's default parameters (32
+// warps filling the 16 KB scratchpad) for callers that want to tweak one
+// axis — e.g. the warp count, which sets the memory-level parallelism and
+// therefore how latency-dominated the run is.
+func DefaultImplicit() Implicit { return workloads.DefaultImplicit() }
+
 // NewImplicitWith uses explicit parameters.
 func NewImplicitWith(p Implicit, kind LocalMem) Workload {
 	return implicitWorkload{p: p, kind: kind}
