@@ -355,6 +355,84 @@ func BenchmarkLatencyBoundRemoteDense(b *testing.B) {
 	benchThroughput(b, latencyBoundSystem(600), EngineDense, latencyBoundWorkload())
 }
 
+// --- sparse/bursty workload throughput (skip vs quiescent vs dense) ---
+
+func benchBFS() Workload {
+	return NewBFSWith(BFS{Seed: 0xB4B4, Vertices: 1200, AvgDeg: 4, Blocks: 15, WarpsPerBlock: 4})
+}
+
+// BenchmarkBFSThroughput measures the level-synchronized BFS workload
+// (frontier atomics and barrier spins keep the mesh event-dense, so the
+// skip-ahead engine rides the active set rather than jumps).
+func BenchmarkBFSThroughput(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchBFS())
+}
+
+func BenchmarkBFSThroughputQuiescent(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineQuiescent, benchBFS())
+}
+
+func BenchmarkBFSThroughputDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineDense, benchBFS())
+}
+
+func benchSpMV() Workload {
+	return NewSpMVWith(SpMV{Seed: 0x59A7, Rows: 1024, NnzPerRow: 8, Blocks: 15, WarpsPerBlock: 8})
+}
+
+// BenchmarkSpMVThroughput measures the streaming-with-gathers SpMV
+// workload.
+func BenchmarkSpMVThroughput(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchSpMV())
+}
+
+func BenchmarkSpMVThroughputQuiescent(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineQuiescent, benchSpMV())
+}
+
+func BenchmarkSpMVThroughputDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineDense, benchSpMV())
+}
+
+func benchPipeline() Workload {
+	return NewPipelineWith(Pipeline{Seed: 0x9199, Rounds: 12, Chase: 64, Work: 24,
+		Producers: 1, Consumers: 1, PermWords: 1 << 12})
+}
+
+// BenchmarkPipelineThroughput measures the bursty producer-consumer
+// pipeline — the skip-ahead engine's best case: while one stage runs its
+// dependent-latency chain, the other stage's warps are idle at a barrier,
+// so nearly the whole round is jumpable waiting.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	benchThroughput(b, PipelineSystem(), EngineSkip, benchPipeline())
+}
+
+func BenchmarkPipelineThroughputQuiescent(b *testing.B) {
+	benchThroughput(b, PipelineSystem(), EngineQuiescent, benchPipeline())
+}
+
+func BenchmarkPipelineThroughputDense(b *testing.B) {
+	benchThroughput(b, PipelineSystem(), EngineDense, benchPipeline())
+}
+
+func benchGUPS() Workload {
+	return NewGUPSWith(GUPS{Seed: 0x6095, Updates: 64, WindowsPerWarp: 32, Blocks: 15, WarpsPerBlock: 4})
+}
+
+// BenchmarkGUPSThroughput measures the random-access update workload
+// (sustained MSHR/coalescer pressure).
+func BenchmarkGUPSThroughput(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchGUPS())
+}
+
+func BenchmarkGUPSThroughputQuiescent(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineQuiescent, benchGUPS())
+}
+
+func BenchmarkGUPSThroughputDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineDense, benchGUPS())
+}
+
 // BenchmarkAblationOwnedAtomics quantifies the owned-atomics suggestion of
 // section 6.1.4: the local-service fraction of atomics and the execution
 // and sync-stall ratios versus baseline DeNovo on UTSD.

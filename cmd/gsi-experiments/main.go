@@ -26,7 +26,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "all | table5.1 | fig6.1 | fig6.2 | fig6.3 | fig6.4")
+		exp      = flag.String("exp", "all", "all | table5.1 | fig6.1 | fig6.2 | fig6.3 | fig6.4 | workloads")
+		list     = flag.Bool("list-workloads", false, "print the workload registry (name, parameters, default scale) and exit")
 		scale    = flag.String("scale", "default", "default | small")
 		width    = flag.Int("width", 64, "chart width")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables and charts")
@@ -39,6 +40,10 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *list {
+		gsi.Workloads().Describe(os.Stdout)
+		return
+	}
 	if *csv && *jsonOut {
 		fail("-csv and -json are mutually exclusive")
 	}
@@ -101,6 +106,9 @@ func main() {
 	}
 	if want("fig6.4") {
 		specs = append(specs, gsi.Figure64Specs(sc)...)
+	}
+	if want("workloads") || strings.EqualFold(*exp, "figW") {
+		specs = append(specs, gsi.WorkloadGallerySpec(sc))
 	}
 	if len(specs) == 0 && !ran {
 		fail("unknown experiment %q", *exp)

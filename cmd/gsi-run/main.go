@@ -1,13 +1,17 @@
 // Command gsi-run executes workloads under one or many configurations and
-// prints their GSI stall profiles. The -protocol, -local, and -mshr flags
-// accept comma-separated lists; supplying more than one value turns the
-// invocation into a cartesian sweep executed by the worker pool (results
-// are printed in grid order, identical for any -parallel value).
+// prints their GSI stall profiles. Workloads are selected from the
+// registry by name (-list-workloads prints the table); the -workload,
+// -protocol, -local, and -mshr flags accept comma-separated lists, and
+// supplying more than one value on any of them turns the invocation into
+// a cartesian sweep executed by the worker pool (results are printed in
+// grid order, identical for any -parallel value).
 //
 // Examples:
 //
+//	gsi-run -list-workloads
 //	gsi-run -workload utsd -protocol denovo -nodes 1500
-//	gsi-run -workload implicit -local stash -mshr 256 -chart
+//	gsi-run -workload bfs -param vertices=2000,avgdeg=6 -chart
+//	gsi-run -workload bfs,spmv,gups -protocol gpu,denovo -json
 //	gsi-run -workload implicit -local scratchpad,dma,stash -mshr 32,64,128,256,512 -json
 package main
 
@@ -26,12 +30,14 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "implicit", "uts | utsd | implicit")
+		workload = flag.String("workload", "implicit", "comma-separated registry names (see -list-workloads)")
+		list     = flag.Bool("list-workloads", false, "print the workload registry (name, parameters, default scale) and exit")
+		param    = flag.String("param", "", "comma-separated workload parameter overrides, name=value (see -list-workloads)")
 		protocol = flag.String("protocol", "denovo", "comma-separated: gpu | denovo")
 		local    = flag.String("local", "scratchpad", "implicit only, comma-separated: scratchpad | dma | stash")
-		warps    = flag.Int("warps", 0, "implicit only: warp count override (fewer warps = less MLP, more latency-dominated)")
-		nodes    = flag.Int("nodes", 1000, "tree size for uts/utsd")
-		sms      = flag.Int("sms", 0, "SM count override (default: 15 for uts/utsd, 1 for implicit)")
+		warps    = flag.Int("warps", 0, "shorthand for -param warps=N (implicit: fewer warps = less MLP, more latency-dominated)")
+		nodes    = flag.Int("nodes", 0, "shorthand for -param nodes=N (uts/utsd tree size)")
+		sms      = flag.Int("sms", 0, "SM count override (default: per-workload tuned system)")
 		mshr     = flag.String("mshr", "32", "comma-separated MSHR (and store buffer) entries")
 		sfifo    = flag.Bool("sfifo", false, "enable the S-FIFO release ablation")
 		owned    = flag.Bool("owned-atomics", false, "enable the owned-atomics optimization (DeNovo)")
@@ -46,6 +52,10 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *list {
+		gsi.Workloads().Describe(os.Stdout)
+		return
+	}
 	if *jsonOut && *chart {
 		fail("-chart and -json are mutually exclusive")
 	}
@@ -63,69 +73,119 @@ func main() {
 		mode = gsi.EngineDense
 	}
 
-	protocols := parseProtocols(*protocol)
-	mshrs := parseInts(*mshr)
-	kind, implicit := parseWorkload(*workload)
-	localSet, warpsSet := false, false
+	reg := gsi.Workloads()
+	names := splitList(*workload)
+	for _, n := range names {
+		if _, ok := reg.Lookup(n); !ok {
+			fail("unknown workload %q (run -list-workloads for the registry)", n)
+		}
+	}
+	overrides := parseParams(*param)
+	localSet := false
+	// Legacy shorthand flags fold into the override set when given; a
+	// value also present in -param is a conflict, not a silent override.
+	shorthand := func(name string, value int) {
+		if _, conflict := overrides[name]; conflict {
+			fail("-%s and -param %s=... are mutually exclusive", name, name)
+		}
+		overrides[name] = strconv.Itoa(value)
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
+		case "warps":
+			shorthand("warps", *warps)
+		case "nodes":
+			shorthand("nodes", *nodes)
 		case "local":
 			localSet = true
-		case "warps":
-			warpsSet = true
 		}
 	})
+	// The -local flag is the implicit workload's local-memory axis; it
+	// requires an implicit-only selection (other workloads would run
+	// duplicate simulations per axis value). Single organizations can
+	// also be chosen with -param local=..., which conflicts with the
+	// explicit flag.
 	var locals []gsi.LocalMem
-	if implicit {
+	if localSet {
+		for _, n := range names {
+			if n != "implicit" {
+				fail("-local applies to the implicit workload only (use -param for %s)", n)
+			}
+		}
+		if _, conflict := overrides["local"]; conflict {
+			fail("-local and -param local=... are mutually exclusive")
+		}
 		locals = parseLocals(*local)
-	} else if localSet {
-		fail("-local applies to the implicit workload only")
 	}
-	if warpsSet && !implicit {
-		fail("-warps applies to the implicit workload only")
+
+	// values merges the CLI overrides for one grid point (the local-memory
+	// axis feeds the implicit workload's "local" parameter).
+	values := func(ax gsi.Axes) gsi.WorkloadValues {
+		v := gsi.WorkloadValues{}
+		for k, val := range overrides {
+			v[k] = val
+		}
+		if ax.Workload == "implicit" && len(locals) > 0 {
+			v["local"] = localParam(ax.LocalMem)
+		}
+		return v
 	}
-	if warpsSet && *warps <= 0 {
-		fail("bad warp count %d", *warps)
+	// Validate every workload × local-memory combination up front so a
+	// bad parameter fails before any simulation starts (the factory
+	// below runs on pool workers).
+	for _, n := range names {
+		e, _ := reg.Lookup(n)
+		points := []gsi.Axes{{Workload: n}}
+		if n == "implicit" && len(locals) > 0 {
+			points = points[:0]
+			for _, lm := range locals {
+				points = append(points, gsi.Axes{Workload: n, LocalMem: lm})
+			}
+		}
+		for _, ax := range points {
+			if _, err := e.Build(values(ax)); err != nil {
+				fail("%v", err)
+			}
+		}
 	}
 
 	grid := gsi.Grid{
 		Name:      "sweep",
-		Protocols: protocols,
-		MSHRSizes: mshrs,
+		Workloads: names,
+		Protocols: parseProtocols(*protocol),
+		MSHRSizes: parseInts(*mshr),
 		LocalMems: locals,
-	}
-	if implicit {
-		grid.System = gsi.ImplicitSystem(mshrs[0])
-		if warpsSet {
-			p := gsi.DefaultImplicit()
-			p.Warps = *warps
-			if *warps < grid.System.WarpsPerSM {
-				grid.System.WarpsPerSM = *warps
+		Workload: func(ax gsi.Axes) gsi.Workload {
+			e, _ := reg.Lookup(ax.Workload)
+			w, err := e.Build(values(ax))
+			if err != nil {
+				// Unreachable: every combination was validated above.
+				// Panic rather than exit — the sweep pool recovers a
+				// job panic into that job's error, preserving the
+				// partial-results path below.
+				panic(err)
 			}
-			grid.Workload = func(ax gsi.Axes) gsi.Workload { return gsi.NewImplicitWith(p, ax.LocalMem) }
-		} else {
-			grid.Workload = func(ax gsi.Axes) gsi.Workload { return gsi.NewImplicit(ax.LocalMem) }
-		}
-	} else {
-		n := *nodes
-		if kind == "uts" {
-			grid.Workload = func(gsi.Axes) gsi.Workload { return gsi.NewUTS(n) }
-		} else {
-			grid.Workload = func(gsi.Axes) gsi.Workload { return gsi.NewUTSD(n) }
-		}
+			return w
+		},
+		Options: func(ax gsi.Axes) gsi.Options {
+			e, _ := reg.Lookup(ax.Workload)
+			sys := gsi.DefaultConfig()
+			if cfg, err := e.TuneSystem(false, values(ax), sys); err == nil {
+				sys = cfg
+			}
+			if ax.MSHR > 0 {
+				sys.MSHREntries = ax.MSHR
+				sys.StoreBufEntries = ax.MSHR
+			}
+			if *sms > 0 {
+				sys.NumSMs = *sms
+			}
+			sys.Engine = mode
+			return gsi.Options{System: sys, Protocol: ax.Protocol,
+				SFIFO: *sfifo, OwnedAtomics: *owned, Timeline: *timeline}
+		},
 	}
 	sweep := grid.Sweep()
-	// Flags that apply uniformly to every grid point.
-	for i := range sweep.Jobs {
-		o := &sweep.Jobs[i].Options
-		o.SFIFO = *sfifo
-		o.OwnedAtomics = *owned
-		o.Timeline = *timeline
-		if *sms > 0 {
-			o.System.NumSMs = *sms
-		}
-		o.System.Engine = mode
-	}
 
 	cfg := gsi.SweepConfig{Parallel: *parallel}
 	if !*quiet && len(sweep.Jobs) > 1 {
@@ -198,17 +258,44 @@ func printReport(rep *gsi.Report, chart, timeline bool) {
 	}
 }
 
-func parseWorkload(s string) (kind string, implicit bool) {
-	switch strings.ToLower(s) {
-	case "uts":
-		return "uts", false
-	case "utsd":
-		return "utsd", false
-	case "implicit":
-		return "implicit", true
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.ToLower(strings.TrimSpace(f))
+		if f != "" {
+			out = append(out, f)
+		}
 	}
-	fail("unknown workload %q", s)
-	return "", false
+	if len(out) == 0 {
+		fail("empty workload list")
+	}
+	return out
+}
+
+// parseParams parses "name=value,name=value" override lists.
+func parseParams(s string) map[string]string {
+	out := map[string]string{}
+	if strings.TrimSpace(s) == "" {
+		return out
+	}
+	for _, f := range strings.Split(s, ",") {
+		name, value, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok || name == "" || value == "" {
+			fail("bad -param entry %q (want name=value)", f)
+		}
+		out[strings.ToLower(name)] = value
+	}
+	return out
+}
+
+func localParam(lm gsi.LocalMem) string {
+	switch lm {
+	case gsi.ScratchpadDMA:
+		return "dma"
+	case gsi.Stash:
+		return "stash"
+	}
+	return "scratchpad"
 }
 
 func parseProtocols(s string) []gsi.Protocol {

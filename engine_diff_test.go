@@ -11,7 +11,7 @@ import (
 // resolved config.
 func figureSpecsEngine(mode EngineMode) []FigureSpec {
 	sc := SmallScale()
-	specs := []FigureSpec{Figure61Spec(sc), Figure62Spec(sc), Figure63Spec()}
+	specs := []FigureSpec{Figure61Spec(sc), Figure62Spec(sc), Figure63Spec(), WorkloadGallerySpec(sc)}
 	specs = append(specs, Figure64Specs(sc)...)
 	for si := range specs {
 		for ji := range specs[si].Sweep.Jobs {
@@ -113,6 +113,58 @@ func TestEnginesIdenticalWithTimeline(t *testing.T) {
 		if q.Counts != d.Counts {
 			t.Errorf("%s: counts diverge:\n%+v\nvs\n%+v", mode, q.Counts, d.Counts)
 		}
+	}
+}
+
+// TestNextEventWorkloadPool is the full-system analog of the sim package's
+// NextEvent property test: every workload in the registry — the pool now
+// includes BFS's global barriers, SpMV's gathers, the pipeline's bursty
+// idle phases, and GUPS's MSHR saturation — runs at SmallScale under the
+// skip-ahead engine and must produce the byte-identical JSON report the
+// dense reference loop does. Any component under-promising on any of
+// these access patterns diverges here.
+func TestNextEventWorkloadPool(t *testing.T) {
+	reg := Workloads()
+	for _, name := range reg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, _ := reg.Lookup(name)
+			run := func(mode EngineMode) *Report {
+				w, err := e.BuildSmall(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := Options{Protocol: DeNovo}
+				opt.System = DefaultConfig()
+				cfg, err := e.TuneSystem(true, nil, opt.System)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt.System = cfg
+				opt.System.Engine = mode
+				rep, err := Run(opt, w)
+				if err != nil {
+					t.Fatalf("%s engine: %v", mode, err)
+				}
+				return rep
+			}
+			dense := run(EngineDense)
+			dj, err := dense.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []EngineMode{EngineQuiescent, EngineSkip} {
+				rep := run(mode)
+				rj, err := rep.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(rj, dj) {
+					a, b := diffLine(rj, dj)
+					t.Errorf("%s diverges from dense:\n %s: %s\n dense: %s", mode, mode, a, b)
+				}
+			}
+		})
 	}
 }
 

@@ -22,15 +22,25 @@ type FigureSet struct {
 }
 
 // add folds one run into the three groups.
-func (fs *FigureSet) add(r *Report) {
+func (fs *FigureSet) add(r *Report) { fs.addNamed(r, "") }
+
+// addNamed folds one run in with an explicit bar name ("" keeps the
+// report's default: local-memory kind or protocol).
+func (fs *FigureSet) addNamed(r *Report, bar string) {
 	if fs.Exec == nil {
 		fs.Exec = stats.NewGroup(fs.ID+"a: execution time breakdown", r.ExecBreakdown().Labels)
 		fs.Data = stats.NewGroup(fs.ID+"b: memory data stall breakdown", r.MemDataBreakdown().Labels)
 		fs.Struct = stats.NewGroup(fs.ID+"c: memory structural stall breakdown", r.MemStructBreakdown().Labels)
 	}
-	fs.Exec.Add(r.ExecBreakdown())
-	fs.Data.Add(r.MemDataBreakdown())
-	fs.Struct.Add(r.MemStructBreakdown())
+	rename := func(b stats.Breakdown) stats.Breakdown {
+		if bar != "" {
+			b.Name = bar
+		}
+		return b
+	}
+	fs.Exec.Add(rename(r.ExecBreakdown()))
+	fs.Data.Add(rename(r.MemDataBreakdown()))
+	fs.Struct.Add(rename(r.MemStructBreakdown()))
 	fs.Reports = append(fs.Reports, r)
 }
 
@@ -95,19 +105,29 @@ type Scale struct {
 	UTSDNodes   int
 	FrontierMin int
 	MSHRSizes   []int
+
+	// Sparse/bursty workload sizing (the workload-gallery spec).
+	BFSVertices    int
+	SpMVRows       int
+	PipelineRounds int
+	GUPSUpdates    int
 }
 
 // DefaultScale is the benchmark-harness sizing: 6k-node trees and the
 // widened figure 6.4 MSHR axis (up to 512 entries), both affordable since
 // the skip-ahead engine stopped paying per cycle for latency waits.
 func DefaultScale() Scale {
-	return Scale{UTSNodes: 6000, UTSDNodes: 6000, FrontierMin: 120, MSHRSizes: []int{32, 64, 128, 256, 512}}
+	return Scale{UTSNodes: 6000, UTSDNodes: 6000, FrontierMin: 120,
+		MSHRSizes:   []int{32, 64, 128, 256, 512},
+		BFSVertices: 4000, SpMVRows: 2048, PipelineRounds: 12, GUPSUpdates: 96}
 }
 
 // SmallScale keeps unit-test runtimes low; its MSHR axis spans the same
 // widened range as DefaultScale (smallest and largest sizes only).
 func SmallScale() Scale {
-	return Scale{UTSNodes: 250, UTSDNodes: 250, FrontierMin: 60, MSHRSizes: []int{32, 512}}
+	return Scale{UTSNodes: 250, UTSDNodes: 250, FrontierMin: 60,
+		MSHRSizes:   []int{32, 512},
+		BFSVertices: 300, SpMVRows: 192, PipelineRounds: 4, GUPSUpdates: 12}
 }
 
 // FigureSpec is one reproduced figure declared as a sweep: run the jobs,
@@ -123,7 +143,11 @@ type FigureSpec struct {
 	// the group's first set (figure 6.4 normalizes all MSHR sizes to the
 	// smallest size's scratchpad bar). Empty means self-normalized.
 	BaselineGroup string
-	Sweep         Sweep
+	// BarName, when non-nil, names the bar each job's report contributes
+	// (the workload gallery names bars by workload; the default is the
+	// report's local-memory kind or protocol).
+	BarName func(r *Report) string
+	Sweep   Sweep
 }
 
 // RenderBases returns the normalization denominator for each set produced
@@ -184,7 +208,11 @@ func RunFigureSpecs(specs []FigureSpec, cfg SweepConfig) ([]*FigureSet, error) {
 	for si, sp := range specs {
 		fs := &FigureSet{ID: sp.ID, Title: sp.Title, Baseline: sp.Baseline}
 		for range sp.Sweep.Jobs {
-			fs.add(results[i].Report)
+			bar := ""
+			if sp.BarName != nil {
+				bar = sp.BarName(results[i].Report)
+			}
+			fs.addNamed(results[i].Report, bar)
 			i++
 		}
 		out[si] = fs
@@ -279,6 +307,70 @@ func implicitGrid(name string, mshr int) Grid {
 		System:    implicitSystem(mshr),
 		Workload:  func(ax Axes) Workload { return NewImplicit(ax.LocalMem) },
 	}
+}
+
+// WorkloadGallerySpec declares the sparse/bursty workload gallery: the
+// four post-paper workloads (BFS, SpMV, pipeline, GUPS) under DeNovo in
+// the paper's three-sub-figure presentation, one bar per workload. It is
+// not a paper figure — it is the cross-application comparison GSI's
+// methodology exists for, extended to the stall sources the original
+// suite does not reach (frontier atomics, indirect gathers, bursty idle
+// phases, MSHR/coalescer pressure). Worker populations shrink with the
+// scale so the SmallScale gallery stays cheap for the test suites.
+func WorkloadGallerySpec(sc Scale) FigureSpec {
+	small := sc.BFSVertices < 1000
+	bfs := BFS{Seed: 0xB4B4, Vertices: sc.BFSVertices, AvgDeg: 4, Blocks: 15, WarpsPerBlock: 4}
+	spmv := SpMV{Seed: 0x59A7, Rows: sc.SpMVRows, NnzPerRow: 8, Blocks: 15, WarpsPerBlock: 8}
+	pipe := Pipeline{Seed: 0x9199, Rounds: sc.PipelineRounds, Chase: 64, Work: 24,
+		Producers: 1, Consumers: 1, PermWords: 4096}
+	gups := GUPS{Seed: 0x6095, Updates: sc.GUPSUpdates, WindowsPerWarp: 32,
+		Blocks: 15, WarpsPerBlock: 4}
+	if small {
+		bfs.Blocks, bfs.WarpsPerBlock = 4, 2
+		spmv.Blocks, spmv.WarpsPerBlock = 8, 4
+		pipe.Chase, pipe.Work, pipe.PermWords = 24, 12, 1024
+		gups.WindowsPerWarp, gups.Blocks = 8, 4
+	}
+	return FigureSpec{
+		ID: "W", Title: "sparse/bursty workload gallery", Baseline: "BFS",
+		BarName: func(r *Report) string { return r.Workload },
+		Sweep: Grid{
+			Name:      "workload gallery",
+			Workloads: []string{"bfs", "spmv", "pipeline", "gups"},
+			Workload: func(ax Axes) Workload {
+				switch ax.Workload {
+				case "bfs":
+					return NewBFSWith(bfs)
+				case "spmv":
+					return NewSpMVWith(spmv)
+				case "pipeline":
+					return NewPipelineWith(pipe)
+				default:
+					return NewGUPSWith(gups)
+				}
+			},
+			// No Options func: the default grid mapping applies each
+			// registry entry's system-shaping hook, which is what puts
+			// the pipeline point on its single-SM machine.
+		}.Sweep(),
+	}
+}
+
+// WorkloadGallery runs the gallery serially through its spec.
+func WorkloadGallery(sc Scale) (*FigureSet, error) {
+	return WorkloadGallerySpec(sc).Run(SweepConfig{Parallel: 1})
+}
+
+// PipelineSystem returns the pipeline workload's machine: the default
+// system narrowed to one SM, so the idle stage's warps are the only other
+// residents and the bursty phases are pure waits. It matches the registry
+// entry's tuning for pipelines of up to WarpsPerSM total warps; larger
+// stage populations should go through the registry's TuneSystem, which
+// also widens WarpsPerSM to fit producers+consumers.
+func PipelineSystem() SystemConfig {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	return cfg
 }
 
 // Figure64Specs declares figure 6.4 (the MSHR sensitivity sweep) as one

@@ -26,7 +26,7 @@ const goldenWidth = 64
 func goldenFigures(t *testing.T) map[string]string {
 	t.Helper()
 	sc := SmallScale()
-	specs := []FigureSpec{Figure61Spec(sc), Figure62Spec(sc), Figure63Spec()}
+	specs := []FigureSpec{Figure61Spec(sc), Figure62Spec(sc), Figure63Spec(), WorkloadGallerySpec(sc)}
 	specs = append(specs, Figure64Specs(sc)...)
 	sets, err := RunFigureSpecs(specs, SweepConfig{})
 	if err != nil {

@@ -4,15 +4,18 @@
 // stall-attribution methodology of Alsop, Sinclair, and Adve (ISPASS 2016).
 //
 // A simulation is described by Options (system parameters + coherence
-// protocol + ablation switches) and a Workload (UTS, UTSD, or the implicit
-// microbenchmark in one of three local-memory organizations). Run executes
-// the workload to completion, functionally verifies it, and returns a
-// Report containing the per-cycle stall breakdown, the memory data stall
-// sub-classification (by service location), and the memory structural
-// sub-classification (by blocking resource).
+// protocol + ablation switches) and a Workload drawn from the registry
+// (Workloads): the paper's benchmarks (UTS, UTSD, and the implicit
+// microbenchmark in three local-memory organizations) plus the
+// sparse/bursty additions (level-synchronized BFS, SpMV, a
+// producer-consumer pipeline, and GUPS random-access updates). Run
+// executes the workload to completion, functionally verifies it, and
+// returns a Report containing the per-cycle stall breakdown, the memory
+// data stall sub-classification (by service location), and the memory
+// structural sub-classification (by blocking resource).
 //
 //	rep, err := gsi.Run(gsi.Options{Protocol: gsi.DeNovo}, gsi.NewUTSD(2000))
-//	fmt.Println(rep.ExecBreakdown().Chart(60))
+//	fmt.Print(rep.Summary())
 //
 // Batches of configurations run through the sweep layer: a Grid declares a
 // cartesian product of axes (protocol, MSHR size, local-memory kind,
@@ -168,7 +171,38 @@ type (
 	UTSD = workloads.UTSD
 	// Implicit parameterizes the streaming microbenchmark.
 	Implicit = workloads.Implicit
+	// BFS parameterizes level-synchronized breadth-first search over a
+	// CSR graph (irregular gathers, frontier atomics, global barriers).
+	BFS = workloads.BFS
+	// SpMV parameterizes the CSR sparse matrix-vector product
+	// (streaming rows with indirect column gathers).
+	SpMV = workloads.SpMV
+	// Pipeline parameterizes the producer-consumer pipeline with long
+	// idle phases between stages (the skip-ahead engine's bursty case).
+	Pipeline = workloads.Pipeline
+	// GUPS parameterizes the random-access update benchmark
+	// (MSHR/coalescer pressure through line-strided vector windows).
+	GUPS = workloads.GUPS
 )
+
+// Workload registry types, re-exported from internal/workloads. The
+// registry is the single table both CLIs and the sweep Grid's workload
+// axis drive: every entry carries a constructor, a parameter schema with
+// default-scale values, SmallScale overrides, and an optional
+// system-shaping hook. See Workloads.
+type (
+	// WorkloadEntry is one registered workload.
+	WorkloadEntry = workloads.Entry
+	// WorkloadParam is one entry of a parameter schema.
+	WorkloadParam = workloads.Param
+	// WorkloadValues holds parameter overrides by name.
+	WorkloadValues = workloads.Values
+	// WorkloadRegistry maps workload names to entries.
+	WorkloadRegistry = workloads.Registry
+)
+
+// Workloads returns the registry of every built-in workload.
+func Workloads() *WorkloadRegistry { return workloads.Builtins() }
 
 // Options configures one simulation.
 type Options struct {

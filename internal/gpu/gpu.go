@@ -65,6 +65,10 @@ func (g *GPU) Launch(k *Kernel) error {
 		return fmt.Errorf("gpu: kernel %q needs %d warps per block, SM holds %d",
 			k.Name, k.WarpsPerBlock, g.Cfg.WarpsPerSM)
 	}
+	if k.Coresident && k.Blocks > g.Cfg.NumSMs {
+		return fmt.Errorf("gpu: kernel %q synchronizes across blocks but launches %d on %d SMs",
+			k.Name, k.Blocks, g.Cfg.NumSMs)
+	}
 	g.kernel = k
 	g.nextBlock = 0
 	g.blocksDone = 0

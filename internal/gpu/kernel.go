@@ -65,6 +65,12 @@ type Kernel struct {
 	// memory. Required for LocalScratchDMA and LocalStash; optional for
 	// LocalScratch (the baseline moves data with explicit instructions).
 	LocalMap func(block int) scratchpad.Mapping
+	// Coresident declares that the kernel synchronizes across blocks (a
+	// software global barrier), so every block must be resident at once:
+	// Blocks may not exceed the SM count, or late blocks would wait for
+	// SMs that never free and the barrier would deadlock. Launch
+	// enforces this.
+	Coresident bool
 }
 
 // Validate reports the first structural problem with the kernel.

@@ -301,6 +301,15 @@ func (sm *SM) finishBlock(cycle uint64) {
 		sm.localKind = LocalNone
 		sm.block = -1
 		sm.gpu.blockDone(sm)
+		return
+	}
+	if sm.lsu.Idle() && !sm.cm.Flushing() && sm.cm.SBLen() > 0 {
+		// Straggler stores: a multi-line vector store still draining
+		// through the LSU when the kernel-end flush started parks until
+		// the release completes, then refills the store buffer behind
+		// it. Without another flush nothing would ever drain those
+		// entries and the block could never retire.
+		sm.cm.FlushAll()
 	}
 }
 

@@ -91,9 +91,19 @@ func (b *Builder) And(rd, ra, rb Reg) *Builder {
 	return b.emit(Instr{Op: OpAnd, Rd: rd, Ra: ra, Rb: rb})
 }
 
+// Or appends rd = ra | rb.
+func (b *Builder) Or(rd, ra, rb Reg) *Builder {
+	return b.emit(Instr{Op: OpOr, Rd: rd, Ra: ra, Rb: rb})
+}
+
 // Xor appends rd = ra ^ rb.
 func (b *Builder) Xor(rd, ra, rb Reg) *Builder {
 	return b.emit(Instr{Op: OpXor, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Shl appends rd = ra << (rb & 63).
+func (b *Builder) Shl(rd, ra, rb Reg) *Builder {
+	return b.emit(Instr{Op: OpShl, Rd: rd, Ra: ra, Rb: rb})
 }
 
 // Shr appends rd = ra >> rb.

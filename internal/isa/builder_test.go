@@ -117,7 +117,7 @@ func TestBuilderEmitsExpectedOps(t *testing.T) {
 	b := NewBuilder("all")
 	l := b.NewLabel()
 	b.Nop().MovI(1, 5).Mov(2, 1).Add(3, 1, 2).Sub(3, 1, 2).Mul(3, 1, 2)
-	b.And(3, 1, 2).Xor(3, 1, 2).Shr(3, 1, 2).AddI(3, 1, 1).MulI(3, 1, 2)
+	b.And(3, 1, 2).Or(3, 1, 2).Xor(3, 1, 2).Shl(3, 1, 2).Shr(3, 1, 2).AddI(3, 1, 1).MulI(3, 1, 2)
 	b.AndI(3, 1, 7).Min(3, 1, 2).FMA(3, 1, 2).SFU(3, 1)
 	b.Ld(4, 1, 0).St(1, 0, 4).LdV(4, 1, 8).StV(1, 8, 4)
 	b.LdL(4, 1, 0).StL(1, 0, 4).LdLV(4, 1, 8).StLV(1, 8, 4)
@@ -130,8 +130,8 @@ func TestBuilderEmitsExpectedOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantOps := []Op{
-		OpNop, OpMovI, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpXor, OpShr,
-		OpAddI, OpMulI, OpAndI, OpMin, OpFMA, OpSFU,
+		OpNop, OpMovI, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpAddI, OpMulI, OpAndI, OpMin, OpFMA, OpSFU,
 		OpLd, OpSt, OpLdV, OpStV, OpLdL, OpStL, OpLdLV, OpStLV,
 		OpAtomCAS, OpAtomExch, OpAtomAdd, OpAtomAdd,
 		OpBar, OpBEQ, OpBNE, OpBLT, OpBGE, OpBr, OpExit,
@@ -144,7 +144,7 @@ func TestBuilderEmitsExpectedOps(t *testing.T) {
 			t.Errorf("instr %d = %s, want %s", i, p.At(i).Op, op)
 		}
 	}
-	if !p.At(26).NoRet {
+	if !p.At(28).NoRet {
 		t.Errorf("AtomAddNR lost NoRet flag")
 	}
 }

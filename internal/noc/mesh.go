@@ -58,6 +58,90 @@ func (q *outQueue) popReady(cycle uint64) *msg {
 	return m
 }
 
+// dueTracker maintains the minimum readyAt across every buffered message
+// incrementally, so NextEvent costs O(log k) instead of a scan over all
+// routers and queues. It is a lazy min-heap of due times with a reference
+// count per time: add/remove adjust the count, and min discards heap
+// entries whose count has dropped to zero. Tracking all messages rather
+// than only queue heads can only report a time at or before the true next
+// head event, which the NextEvent contract allows (an early report costs a
+// wasted tick; a late one would lose simulated work).
+type dueTracker struct {
+	count map[uint64]int
+	heap  []uint64
+}
+
+func newDueTracker() dueTracker {
+	return dueTracker{count: make(map[uint64]int)}
+}
+
+// add records one buffered message becoming due at t.
+func (d *dueTracker) add(t uint64) {
+	d.count[t]++
+	if d.count[t] == 1 {
+		d.heap = append(d.heap, t)
+		i := len(d.heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if d.heap[p] <= d.heap[i] {
+				break
+			}
+			d.heap[p], d.heap[i] = d.heap[i], d.heap[p]
+			i = p
+		}
+	}
+}
+
+// remove forgets one message that was due at t (it moved or delivered),
+// then prunes stale heap tops. Pruning here — not just in min — keeps the
+// heap bounded even when NextEvent is never called (the dense and
+// quiescent engines): due times grow with the clock, so dead times sink
+// to the top and are popped as traffic drains.
+func (d *dueTracker) remove(t uint64) {
+	if d.count[t]--; d.count[t] <= 0 {
+		delete(d.count, t)
+	}
+	for len(d.heap) > 0 && d.count[d.heap[0]] <= 0 {
+		d.popTop()
+	}
+}
+
+// min returns the earliest live due time; ok is false when nothing is
+// buffered. Stale heap entries (times whose count reached zero) are popped
+// lazily here.
+func (d *dueTracker) min() (uint64, bool) {
+	for len(d.heap) > 0 {
+		if top := d.heap[0]; d.count[top] > 0 {
+			return top, true
+		}
+		d.popTop()
+	}
+	return 0, false
+}
+
+// popTop removes the heap's root and restores the heap property.
+func (d *dueTracker) popTop() {
+	last := len(d.heap) - 1
+	d.heap[0] = d.heap[last]
+	d.heap = d.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(d.heap) && d.heap[l] < d.heap[smallest] {
+			smallest = l
+		}
+		if r < len(d.heap) && d.heap[r] < d.heap[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		d.heap[i], d.heap[smallest] = d.heap[smallest], d.heap[i]
+		i = smallest
+	}
+}
+
 type router struct {
 	out    [numDirs]outQueue
 	queued int // messages buffered across all output queues
@@ -71,6 +155,7 @@ type Mesh struct {
 	routers   []router
 	handler   Handler
 	wake      func()
+	due       dueTracker
 
 	// Stats counts traffic for network reporting.
 	Stats Stats
@@ -95,6 +180,7 @@ func New(w, h, linkLat, routerLat int, handler Handler) *Mesh {
 		routerLat: uint64(routerLat),
 		routers:   make([]router, w*h),
 		handler:   handler,
+		due:       newDueTracker(),
 	}
 }
 
@@ -153,6 +239,7 @@ func (m *Mesh) route(tile int, mg *msg) {
 	}
 	m.routers[tile].out[dir].push(mg)
 	m.routers[tile].queued++
+	m.due.add(mg.readyAt)
 }
 
 // neighbor returns the tile index one hop in dir from tile.
@@ -187,12 +274,14 @@ func (m *Mesh) Tick(cycle uint64) bool {
 				continue
 			}
 			r.queued--
+			m.due.remove(mg.readyAt)
 			mg.hops++
 			mg.readyAt = cycle + m.linkLat + m.routerLat
 			m.route(m.neighbor(i, dir), mg)
 		}
 		if mg := r.out[dirLocal].popReady(cycle); mg != nil {
 			r.queued--
+			m.due.remove(mg.readyAt)
 			m.Stats.Messages++
 			m.Stats.Hops += uint64(mg.hops)
 			m.Stats.InFlight--
@@ -210,26 +299,23 @@ func (m *Mesh) Quiesced() bool { return m.Stats.InFlight == 0 }
 const noEvent = ^uint64(0)
 
 // NextEvent implements the engine's skip-ahead extension: the earliest
-// cycle after now at which any router can move a message. Ticks only ever
-// pop queue heads, so the minimum head readyAt across all output queues is
-// exact; a head already due means the next tick has work.
+// cycle after now at which any router can move a message. The due tracker
+// maintains the minimum readyAt across all buffered messages incrementally
+// (updated on every push and pop), so planning a jump costs O(log k)
+// instead of the all-router scan it replaces. The tracked minimum is over
+// all messages rather than only queue heads, so it can come out earlier
+// than the true next head event when FIFO order inverts due times — an
+// early report is always safe under the NextEvent contract (it costs at
+// most a wasted tick), while a late one would lose simulated work.
 func (m *Mesh) NextEvent(now uint64) uint64 {
 	if m.Stats.InFlight == 0 {
 		return noEvent
 	}
-	next := noEvent
-	for i := range m.routers {
-		r := &m.routers[i]
-		if r.queued == 0 {
-			continue
-		}
-		for dir := 0; dir < numDirs; dir++ {
-			if q := r.out[dir].q; len(q) > 0 {
-				if t := q[0].readyAt; t < next {
-					next = t
-				}
-			}
-		}
+	next, ok := m.due.min()
+	if !ok {
+		// Unreachable while messages are in flight; fall back to the
+		// defensive "tick me next cycle" promise.
+		return now + 1
 	}
 	if next <= now {
 		return now + 1

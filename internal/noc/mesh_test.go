@@ -135,6 +135,81 @@ func TestMeshSendValidation(t *testing.T) {
 	m.Send(0, 0, 9, PortL2, nil)
 }
 
+// scanDueMin recomputes the minimum readyAt over every buffered message by
+// brute force — the reference for the incrementally maintained tracker.
+func scanDueMin(m *Mesh) (uint64, bool) {
+	min, ok := ^uint64(0), false
+	for i := range m.routers {
+		for dir := 0; dir < numDirs; dir++ {
+			for _, mg := range m.routers[i].out[dir].q {
+				if mg != nil && mg.readyAt < min {
+					min, ok = mg.readyAt, true
+				}
+			}
+		}
+	}
+	return min, ok
+}
+
+// TestMeshNextEventMatchesScan: the incrementally maintained due minimum
+// must equal a brute-force scan over every buffered message, at every cycle
+// of an arbitrary traffic pattern (including mid-flight hops, contention,
+// and drain).
+func TestMeshNextEventMatchesScan(t *testing.T) {
+	prop := func(pairs []uint8) bool {
+		m, _ := testMesh(4, 4)
+		for i, p := range pairs {
+			if i >= 48 {
+				break
+			}
+			m.Send(uint64(i%3), int(p)%16, int(p>>4)%16, PortL2, i)
+		}
+		for c := uint64(0); c < 400; c++ {
+			wantMin, wantOK := scanDueMin(m)
+			gotMin, gotOK := m.due.min()
+			if wantOK != gotOK || (wantOK && wantMin != gotMin) {
+				t.Logf("cycle %d: tracker min = (%d,%v), scan = (%d,%v)",
+					c, gotMin, gotOK, wantMin, wantOK)
+				return false
+			}
+			if m.Stats.InFlight > 0 {
+				if next := m.NextEvent(c); next <= c {
+					t.Logf("cycle %d: NextEvent = %d, not strictly in the future", c, next)
+					return false
+				}
+			} else if m.NextEvent(c) != noEvent {
+				t.Logf("cycle %d: quiesced mesh promised an event", c)
+				return false
+			}
+			m.Tick(c)
+		}
+		return m.Quiesced()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeshDueTrackerBounded: the due tracker must not grow without bound
+// when NextEvent is never consulted (the dense and quiescent engines):
+// remove prunes stale heap tops, so a long run's heap stays proportional
+// to the live buffered traffic, not to the distinct due times ever seen.
+func TestMeshDueTrackerBounded(t *testing.T) {
+	m, _ := testMesh(4, 4)
+	for c := uint64(0); c < 20_000; c++ {
+		if c%3 == 0 {
+			m.Send(c, int(c)%16, int(c/3)%16, PortL2, nil)
+		}
+		m.Tick(c) // NextEvent deliberately never called
+	}
+	if n := len(m.due.heap); n > 64 {
+		t.Fatalf("due heap grew to %d entries without NextEvent pruning", n)
+	}
+	if n := len(m.due.count); n > 64 {
+		t.Fatalf("due count map grew to %d entries", n)
+	}
+}
+
 // TestMeshAllDelivered: every injected message is eventually delivered to
 // its destination exactly once, for arbitrary traffic patterns.
 func TestMeshAllDelivered(t *testing.T) {

@@ -211,6 +211,19 @@ func (im Implicit) Build(kind gpu.LocalKind, h *cpu.Host) (*gpu.Kernel, error) {
 	return k, nil
 }
 
+// Instance wraps the parameter block (in the given local-memory
+// organization) as a runnable workload with its verification hook.
+func (im Implicit) Instance(kind gpu.LocalKind) Instance {
+	return NewInstance("implicit ("+kind.String()+")",
+		func(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
+			k, err := im.Build(kind, h)
+			if err != nil {
+				return nil, nil, err
+			}
+			return k, func(h *cpu.Host) error { return im.VerifyImplicit(h) }, nil
+		})
+}
+
 // applyFMA iterates v = v*v + v.
 func applyFMA(v uint64, n int) uint64 {
 	for i := 0; i < n; i++ {

@@ -29,6 +29,41 @@ const (
 
 	// Implicit microbenchmark data array.
 	addrData = 0x0800_0000
+
+	// BFS over a CSR graph: rowPtr (n+1 entries), column indices, the
+	// per-vertex distance array the CAS claims write, and the two
+	// alternating frontier queues. The queue cursors and the global
+	// barrier words each get their own cache line.
+	addrBfsRowPtr = 0x1000_0000
+	addrBfsCol    = 0x1100_0000
+	addrBfsDist   = 0x1200_0000
+	addrBfsQueueA = 0x1300_0000
+	addrBfsQueueB = 0x1380_0000
+	addrBfsHeadA  = 0x13F0_0000 // pop cursor, queue A
+	addrBfsHeadB  = 0x13F0_0040
+	addrBfsTailA  = 0x13F0_0080 // push cursor, queue A
+	addrBfsTailB  = 0x13F0_00C0
+	addrBfsBarCnt = 0x13F0_0100 // barrier arrival counter (monotonic)
+	addrBfsBarGen = 0x13F0_0140 // barrier generation (monotonic)
+
+	// SpMV in CSR form: rowPtr, column indices, values, the dense input
+	// vector x, and the output vector y.
+	addrSpmRowPtr = 0x1400_0000
+	addrSpmCol    = 0x1500_0000
+	addrSpmVal    = 0x1600_0000
+	addrSpmX      = 0x1700_0000
+	addrSpmY      = 0x1800_0000
+
+	// Producer-consumer pipeline: the pointer-chase permutation the
+	// producers walk, the per-round token buffer handed across the
+	// stage barrier, and the consumer result array.
+	addrPipePerm = 0x1900_0000
+	addrPipeTok  = 0x1A00_0000
+	addrPipeRes  = 0x1B00_0000
+
+	// GUPS random-access table, partitioned per warp (each warp owns a
+	// power-of-two slice it updates through randomized windows).
+	addrGupsTable = 0x2000_0000
 )
 
 func lqLockAddr(q int) uint64 { return addrLQMeta + uint64(q)*lqMetaStride }

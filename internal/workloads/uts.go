@@ -120,9 +120,7 @@ func utsProgram(work, fmas int) *isa.Program {
 	b.Bind(main)
 	// Acquire the global queue lock: CAS(lock, 0 -> 1) with acquire
 	// semantics; spin until the old value is 0.
-	acq := b.Here()
-	b.AtomCAS(rOld, rLockA, rZero, rOne, isa.Acquire)
-	b.BNE(rOld, rZero, acq)
+	emitSpinAcquire(b, rOld, rLockA)
 	// Pop: if head == tail the queue is empty.
 	b.Ld(rHead, rHeadA, 0)
 	b.Ld(rTail, rTailA, 0)
@@ -134,7 +132,7 @@ func utsProgram(work, fmas int) *isa.Program {
 	b.St(rHeadA, 0, rHead)
 	// Unlock: exchange with release semantics (flushes the store
 	// buffer: the head update becomes visible before the lock frees).
-	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLockA)
 
 	// Process the node: fetch child metadata, stream the payload,
 	// compute on it, store its result.
@@ -142,9 +140,7 @@ func utsProgram(work, fmas int) *isa.Program {
 
 	// Push children, if any, under the same global lock.
 	b.BEQ(rCount, rZero, noteDone)
-	pacq := b.Here()
-	b.AtomCAS(rOld, rLockA, rZero, rOne, isa.Acquire)
-	b.BNE(rOld, rZero, pacq)
+	emitSpinAcquire(b, rOld, rLockA)
 	b.Ld(rTail, rTailA, 0)
 	b.MovI(rI, 0)
 	pushLoop := b.Here()
@@ -159,7 +155,7 @@ func utsProgram(work, fmas int) *isa.Program {
 	b.Br(pushLoop)
 	b.Bind(pushDone)
 	b.St(rTailA, 0, rTail)
-	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLockA)
 
 	b.Bind(noteDone)
 	// Count the node processed: fire-and-forget fetch-add at the L2.
@@ -167,7 +163,7 @@ func utsProgram(work, fmas int) *isa.Program {
 	b.Br(main)
 
 	b.Bind(empty)
-	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLockA)
 	// Termination: all nodes processed? The done line was
 	// self-invalidated by this iteration's acquire, so the load is
 	// fresh.
@@ -202,8 +198,7 @@ func (u UTS) Build(h *cpu.Host) (*gpu.Kernel, *Tree, Seeding, error) {
 		Blocks:        u.Blocks,
 		WarpsPerBlock: u.WarpsPerBlock,
 		InitRegs: func(block, warp int, regs *[isa.NumRegs]uint64) {
-			regs[rZero] = 0
-			regs[rOne] = 1
+			InitConsts(regs)
 			regs[rLockA] = addrLock
 			regs[rHeadA] = addrHead
 			regs[rTailA] = addrTail
@@ -216,6 +211,21 @@ func (u UTS) Build(h *cpu.Host) (*gpu.Kernel, *Tree, Seeding, error) {
 		},
 	}
 	return k, tree, seed, nil
+}
+
+// Instance wraps the parameter block as a runnable workload with its
+// functional verification hook attached.
+func (u UTS) Instance() Instance {
+	return NewInstance("UTS", func(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
+		k, tree, seed, err := u.Build(h)
+		if err != nil {
+			return nil, nil, err
+		}
+		verify := func(h *cpu.Host) error {
+			return VerifyQueueRun(h, tree, seed, u.Work, u.FMAs)
+		}
+		return k, verify, nil
+	})
 }
 
 // initTreeMemory writes the tree's metadata arrays.

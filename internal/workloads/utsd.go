@@ -50,9 +50,7 @@ func utsdProgram(work, fmas int) *isa.Program {
 
 	// --- pop: local queue first ---
 	b.Bind(main)
-	lacq := b.Here()
-	b.AtomCAS(rOld, rLLockA, rZero, rOne, isa.Acquire)
-	b.BNE(rOld, rZero, lacq)
+	emitSpinAcquire(b, rOld, rLLockA)
 	b.Ld(rLHead, rLHeadA, 0)
 	b.Ld(rLTail, rLTailA, 0)
 	b.BEQ(rLHead, rLTail, lempty)
@@ -62,15 +60,13 @@ func utsdProgram(work, fmas int) *isa.Program {
 	b.Ld(rNode, rTmp, 0)
 	b.AddI(rLHead, rLHead, 1)
 	b.St(rLHeadA, 0, rLHead)
-	b.AtomExch(rOld, rLLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLLockA)
 	b.Br(process)
 
 	// --- local empty: try the global queue ---
 	b.Bind(lempty)
-	b.AtomExch(rOld, rLLockA, rZero, isa.Release)
-	gacq := b.Here()
-	b.AtomCAS(rOld, rLockA, rZero, rOne, isa.Acquire)
-	b.BNE(rOld, rZero, gacq)
+	emitUnlock(b, rOld, rLLockA)
+	emitSpinAcquire(b, rOld, rLockA)
 	b.Ld(rHead, rHeadA, 0)
 	b.Ld(rTail, rTailA, 0)
 	b.BEQ(rHead, rTail, gempty)
@@ -79,12 +75,12 @@ func utsdProgram(work, fmas int) *isa.Program {
 	b.Ld(rNode, rTmp, 0)
 	b.AddI(rHead, rHead, 1)
 	b.St(rHeadA, 0, rHead)
-	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLockA)
 	b.Br(process)
 
 	// --- both empty: terminate once every node is processed ---
 	b.Bind(gempty)
-	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLockA)
 	b.Ld(rDone, rDoneA, 0)
 	b.BLT(rDone, rTotal, main)
 	b.Exit()
@@ -96,9 +92,7 @@ func utsdProgram(work, fmas int) *isa.Program {
 
 	// --- push children: local ring while it has space ---
 	b.MovI(rI, 0)
-	placq := b.Here()
-	b.AtomCAS(rOld, rLLockA, rZero, rOne, isa.Acquire)
-	b.BNE(rOld, rZero, placq)
+	emitSpinAcquire(b, rOld, rLLockA)
 	b.Ld(rLHead, rLHeadA, 0)
 	b.Ld(rLTail, rLTailA, 0)
 	plocLoop := b.Here()
@@ -116,13 +110,11 @@ func utsdProgram(work, fmas int) *isa.Program {
 	b.Br(plocLoop)
 	b.Bind(plocDone)
 	b.St(rLTailA, 0, rLTail)
-	b.AtomExch(rOld, rLLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLLockA)
 	b.BGE(rI, rCount, noteDone)
 
 	// --- overflow remainder to the global queue ---
-	pgacq := b.Here()
-	b.AtomCAS(rOld, rLockA, rZero, rOne, isa.Acquire)
-	b.BNE(rOld, rZero, pgacq)
+	emitSpinAcquire(b, rOld, rLockA)
 	b.Ld(rTail, rTailA, 0)
 	pgLoop := b.Here()
 	pgDone := b.NewLabel()
@@ -136,7 +128,7 @@ func utsdProgram(work, fmas int) *isa.Program {
 	b.Br(pgLoop)
 	b.Bind(pgDone)
 	b.St(rTailA, 0, rTail)
-	b.AtomExch(rOld, rLockA, rZero, isa.Release)
+	emitUnlock(b, rOld, rLockA)
 
 	b.Bind(noteDone)
 	b.AtomAddNR(rDoneA, rOne, isa.Relaxed)
@@ -181,8 +173,7 @@ func (u UTSD) Build(h *cpu.Host) (*gpu.Kernel, *Tree, Seeding, error) {
 		Blocks:        u.Blocks,
 		WarpsPerBlock: u.WarpsPerBlock,
 		InitRegs: func(block, warp int, regs *[isa.NumRegs]uint64) {
-			regs[rZero] = 0
-			regs[rOne] = 1
+			InitConsts(regs)
 			regs[rLockA] = addrLock
 			regs[rHeadA] = addrHead
 			regs[rTailA] = addrTail
@@ -201,6 +192,21 @@ func (u UTSD) Build(h *cpu.Host) (*gpu.Kernel, *Tree, Seeding, error) {
 		},
 	}
 	return k, tree, seed, nil
+}
+
+// Instance wraps the parameter block as a runnable workload with its
+// functional verification hook attached.
+func (u UTSD) Instance() Instance {
+	return NewInstance("UTSD", func(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
+		k, tree, seed, err := u.Build(h)
+		if err != nil {
+			return nil, nil, err
+		}
+		verify := func(h *cpu.Host) error {
+			return VerifyUTSDRun(h, tree, seed, u)
+		}
+		return k, verify, nil
+	})
 }
 
 // VerifyUTSDRun checks post-run invariants: every node processed, every

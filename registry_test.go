@@ -1,0 +1,101 @@
+package gsi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryRoundTrip is the registry contract: every registered name
+// constructs at SmallScale, runs to completion on its tuned system, and
+// passes its own functional verification (Run fails loudly otherwise).
+func TestRegistryRoundTrip(t *testing.T) {
+	reg := Workloads()
+	names := reg.Names()
+	if len(names) < 7 {
+		t.Fatalf("registry has %d workloads, want at least 7 (uts, utsd, implicit + 4 sparse)", len(names))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, ok := reg.Lookup(name)
+			if !ok {
+				t.Fatalf("Lookup(%q) failed for a listed name", name)
+			}
+			if e.Summary == "" || len(e.Params) == 0 {
+				t.Fatalf("%s: entry missing summary or parameter schema", name)
+			}
+			w, err := e.BuildSmall(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{Protocol: DeNovo}
+			opt.System = DefaultConfig()
+			cfg, err := e.TuneSystem(true, nil, opt.System)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.System = cfg
+			rep, err := Run(opt, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Cycles == 0 || rep.Counts.Total() == 0 {
+				t.Fatalf("%s: empty report: %d cycles", name, rep.Cycles)
+			}
+		})
+	}
+}
+
+// TestRegistryParamOverrides: overrides reach the constructor, and unknown
+// parameter names are rejected with the schema in the error.
+func TestRegistryParamOverrides(t *testing.T) {
+	e, ok := Workloads().Lookup("bfs")
+	if !ok {
+		t.Fatal("bfs not registered")
+	}
+	if _, err := e.Build(WorkloadValues{"vertices": "64", "blocks": "2", "warps": "1"}); err != nil {
+		t.Fatalf("valid overrides rejected: %v", err)
+	}
+	_, err := e.Build(WorkloadValues{"nodes": "64"})
+	if err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if !strings.Contains(err.Error(), "vertices") {
+		t.Fatalf("error does not name the schema: %v", err)
+	}
+	if _, err := e.Build(WorkloadValues{"vertices": "not-a-number"}); err == nil {
+		t.Fatal("non-integer parameter accepted")
+	}
+}
+
+// TestGridWorkloadAxis: the Workloads axis expands with registry-built
+// workloads, labels carry the names, and registry tuning applies (the
+// pipeline point runs on its single-SM system).
+func TestGridWorkloadAxis(t *testing.T) {
+	sweep := Grid{
+		Name:      "axis",
+		Workloads: []string{"spmv", "pipeline"},
+	}.Sweep()
+	if len(sweep.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(sweep.Jobs))
+	}
+	if sweep.Jobs[0].Label != "spmv" || sweep.Jobs[1].Label != "pipeline" {
+		t.Fatalf("labels = %q, %q", sweep.Jobs[0].Label, sweep.Jobs[1].Label)
+	}
+	if got := sweep.Jobs[1].Options.System.NumSMs; got != 1 {
+		t.Fatalf("pipeline point runs on %d SMs, want the tuned 1", got)
+	}
+	if got := sweep.Jobs[0].Options.System.NumSMs; got != DefaultConfig().NumSMs {
+		t.Fatalf("spmv point runs on %d SMs, want the default %d", got, DefaultConfig().NumSMs)
+	}
+	// An unknown axis value must surface as that job's error, not a panic
+	// or a batch failure for the valid points.
+	bad := Grid{Name: "bad-axis", Workloads: []string{"no-such-workload"}}.Sweep()
+	results, err := bad.Run(SweepConfig{Parallel: 1})
+	if err == nil || results[0].Err == nil {
+		t.Fatal("unknown workload name did not fail the job")
+	}
+	if !strings.Contains(results[0].Err.Error(), "no-such-workload") {
+		t.Fatalf("job error does not name the workload: %v", results[0].Err)
+	}
+}

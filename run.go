@@ -22,51 +22,21 @@ type Workload interface {
 
 // NewUTS wraps the unbalanced-tree-search workload (global queue) with
 // default sizing for the 15-SM system.
-func NewUTS(nodes int) Workload { return utsWorkload{p: workloads.DefaultUTS(nodes)} }
+func NewUTS(nodes int) Workload { return workloads.DefaultUTS(nodes).Instance() }
 
 // NewUTSWith uses explicit UTS parameters.
-func NewUTSWith(p UTS) Workload { return utsWorkload{p: p} }
-
-type utsWorkload struct{ p workloads.UTS }
-
-func (w utsWorkload) Name() string { return "UTS" }
-
-func (w utsWorkload) Build(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
-	k, tree, seed, err := w.p.Build(h)
-	if err != nil {
-		return nil, nil, err
-	}
-	verify := func(h *cpu.Host) error {
-		return workloads.VerifyQueueRun(h, tree, seed, w.p.Work, w.p.FMAs)
-	}
-	return k, verify, nil
-}
+func NewUTSWith(p UTS) Workload { return p.Instance() }
 
 // NewUTSD wraps decentralized unbalanced tree search with default sizing.
-func NewUTSD(nodes int) Workload { return utsdWorkload{p: workloads.DefaultUTSD(nodes)} }
+func NewUTSD(nodes int) Workload { return workloads.DefaultUTSD(nodes).Instance() }
 
 // NewUTSDWith uses explicit UTSD parameters.
-func NewUTSDWith(p UTSD) Workload { return utsdWorkload{p: p} }
-
-type utsdWorkload struct{ p workloads.UTSD }
-
-func (w utsdWorkload) Name() string { return "UTSD" }
-
-func (w utsdWorkload) Build(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
-	k, tree, seed, err := w.p.Build(h)
-	if err != nil {
-		return nil, nil, err
-	}
-	verify := func(h *cpu.Host) error {
-		return workloads.VerifyUTSDRun(h, tree, seed, w.p)
-	}
-	return k, verify, nil
-}
+func NewUTSDWith(p UTSD) Workload { return p.Instance() }
 
 // NewImplicit wraps the implicit microbenchmark in the given local-memory
 // organization with default sizing (one SM).
 func NewImplicit(kind LocalMem) Workload {
-	return implicitWorkload{p: workloads.DefaultImplicit(), kind: kind}
+	return workloads.DefaultImplicit().Instance(kind)
 }
 
 // DefaultImplicit returns the microbenchmark's default parameters (32
@@ -76,25 +46,33 @@ func NewImplicit(kind LocalMem) Workload {
 func DefaultImplicit() Implicit { return workloads.DefaultImplicit() }
 
 // NewImplicitWith uses explicit parameters.
-func NewImplicitWith(p Implicit, kind LocalMem) Workload {
-	return implicitWorkload{p: p, kind: kind}
-}
+func NewImplicitWith(p Implicit, kind LocalMem) Workload { return p.Instance(kind) }
 
-type implicitWorkload struct {
-	p    workloads.Implicit
-	kind LocalMem
-}
+// NewBFS wraps level-synchronized breadth-first search with default
+// sizing for the 15-SM system.
+func NewBFS(vertices int) Workload { return workloads.DefaultBFS(vertices).Instance() }
 
-func (w implicitWorkload) Name() string { return "implicit (" + w.kind.String() + ")" }
+// NewBFSWith uses explicit BFS parameters.
+func NewBFSWith(p BFS) Workload { return p.Instance() }
 
-func (w implicitWorkload) Build(h *cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
-	k, err := w.p.Build(w.kind, h)
-	if err != nil {
-		return nil, nil, err
-	}
-	verify := func(h *cpu.Host) error { return w.p.VerifyImplicit(h) }
-	return k, verify, nil
-}
+// NewSpMV wraps the CSR sparse matrix-vector product with default sizing.
+func NewSpMV(rows int) Workload { return workloads.DefaultSpMV(rows).Instance() }
+
+// NewSpMVWith uses explicit SpMV parameters.
+func NewSpMVWith(p SpMV) Workload { return p.Instance() }
+
+// NewPipeline wraps the producer-consumer pipeline with default sizing
+// (one producer warp, one consumer warp, one SM — see PipelineSystem).
+func NewPipeline(rounds int) Workload { return workloads.DefaultPipeline(rounds).Instance() }
+
+// NewPipelineWith uses explicit pipeline parameters.
+func NewPipelineWith(p Pipeline) Workload { return p.Instance() }
+
+// NewGUPS wraps the random-access update benchmark with default sizing.
+func NewGUPS(updates int) Workload { return workloads.DefaultGUPS(updates).Instance() }
+
+// NewGUPSWith uses explicit GUPS parameters.
+func NewGUPSWith(p GUPS) Workload { return p.Instance() }
 
 // Run executes one workload under the given options and returns its GSI
 // report. The workload's functional post-check runs before the report is

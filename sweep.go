@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 
+	"gsi/internal/cpu"
+	"gsi/internal/gpu"
 	"gsi/internal/sweep"
 )
 
@@ -111,9 +113,12 @@ func (s Sweep) Run(cfg SweepConfig) ([]SweepResult, error) {
 }
 
 // Axes is one point of a Grid's cartesian product. Fields for axes the
-// Grid leaves empty hold that axis's default (DeNovo, MSHR 0 = "keep the
-// system's size", Scratchpad, false).
+// Grid leaves empty hold that axis's default (no workload name, DeNovo,
+// MSHR 0 = "keep the system's size", Scratchpad, false).
 type Axes struct {
+	// Workload is the registry name of the point's workload ("" when
+	// the grid has no workload axis).
+	Workload     string
 	Protocol     Protocol
 	MSHR         int
 	LocalMem     LocalMem
@@ -123,16 +128,24 @@ type Axes struct {
 }
 
 // Grid declares a cartesian product of configuration axes — the
-// protocol × MSHR × local-memory × ablation grids the paper's case
-// studies sweep. Expand it with Sweep; jobs are emitted in row-major
-// order with the rightmost declared axis varying fastest (Protocols
-// outermost, StrongCycle innermost), so the order is deterministic and
-// matches the figures' bar order.
+// workload × protocol × MSHR × local-memory × ablation grids the paper's
+// case studies sweep. Expand it with Sweep; jobs are emitted in row-major
+// order with the rightmost declared axis varying fastest (Workloads
+// outermost, then Protocols, StrongCycle innermost), so the order is
+// deterministic and matches the figures' bar order.
 type Grid struct {
 	// Name labels the resulting sweep.
 	Name string
 	// Axis values; an empty axis contributes a single default point and
 	// stays out of generated labels.
+	//
+	// Workloads is the workload axis: registry names (see Workloads),
+	// varied outermost. When it is set Grid.Workload may be nil — each
+	// point then constructs its workload from the registry at default
+	// scale, and a registry entry's system-shaping hook (e.g. the
+	// implicit microbenchmark's single-SM machine) is applied to points
+	// whose Grid leaves System zero.
+	Workloads    []string
 	Protocols    []Protocol
 	MSHRSizes    []int
 	LocalMems    []LocalMem
@@ -143,7 +156,8 @@ type Grid struct {
 	// DefaultConfig). A non-zero Axes.MSHR overrides both MSHREntries and
 	// StoreBufEntries, the convention of the paper's figure 6.4 sweep.
 	System SystemConfig
-	// Workload builds the workload for one point; required.
+	// Workload builds the workload for one point; required unless the
+	// Workloads axis is set.
 	Workload func(Axes) Workload
 	// Options, when non-nil, replaces the default mapping from a point to
 	// simulation options (use it to wire custom ablations).
@@ -154,10 +168,14 @@ type Grid struct {
 
 // Sweep expands the grid into a concrete job list.
 func (g Grid) Sweep() Sweep {
-	if g.Workload == nil {
-		panic("gsi: Grid.Workload is required")
+	if g.Workload == nil && len(g.Workloads) == 0 {
+		panic("gsi: Grid.Workload (or the Workloads axis) is required")
 	}
 	s := Sweep{Name: g.Name}
+	names := g.Workloads
+	if len(names) == 0 {
+		names = []string{""}
+	}
 	protocols := g.Protocols
 	if len(protocols) == 0 {
 		protocols = []Protocol{DeNovo}
@@ -176,15 +194,17 @@ func (g Grid) Sweep() Sweep {
 		}
 		return vs
 	}
-	for _, p := range protocols {
-		for _, m := range mshrs {
-			for _, lm := range locals {
-				for _, sf := range bools(g.SFIFO) {
-					for _, oa := range bools(g.OwnedAtomics) {
-						for _, sc := range bools(g.StrongCycle) {
-							ax := Axes{Protocol: p, MSHR: m, LocalMem: lm,
-								SFIFO: sf, OwnedAtomics: oa, StrongCycle: sc}
-							s.Add(g.label(ax), g.options(ax), workloadThunk(g.Workload, ax))
+	for _, wn := range names {
+		for _, p := range protocols {
+			for _, m := range mshrs {
+				for _, lm := range locals {
+					for _, sf := range bools(g.SFIFO) {
+						for _, oa := range bools(g.OwnedAtomics) {
+							for _, sc := range bools(g.StrongCycle) {
+								ax := Axes{Workload: wn, Protocol: p, MSHR: m, LocalMem: lm,
+									SFIFO: sf, OwnedAtomics: oa, StrongCycle: sc}
+								s.Add(g.label(ax), g.options(ax), g.workloadThunk(ax))
+							}
 						}
 					}
 				}
@@ -195,9 +215,40 @@ func (g Grid) Sweep() Sweep {
 }
 
 // workloadThunk binds one grid point to its factory without capturing the
-// loop variables by reference.
-func workloadThunk(build func(Axes) Workload, ax Axes) func() Workload {
-	return func() Workload { return build(ax) }
+// loop variables by reference. A grid with a workload axis but no builder
+// constructs the point's workload from the registry at default scale; an
+// unknown name surfaces as the job's error rather than a panic, so one
+// bad axis value cannot sink a whole batch.
+func (g Grid) workloadThunk(ax Axes) func() Workload {
+	if g.Workload != nil {
+		build := g.Workload
+		return func() Workload { return build(ax) }
+	}
+	name := ax.Workload
+	return func() Workload {
+		e, ok := Workloads().Lookup(name)
+		if !ok {
+			return brokenWorkload{name: name,
+				err: fmt.Errorf("gsi: unknown workload %q (see Workloads().Names())", name)}
+		}
+		w, err := e.Build(nil)
+		if err != nil {
+			return brokenWorkload{name: name, err: err}
+		}
+		return w
+	}
+}
+
+// brokenWorkload defers a construction failure to Run, where it becomes
+// the job's error.
+type brokenWorkload struct {
+	name string
+	err  error
+}
+
+func (b brokenWorkload) Name() string { return b.name }
+func (b brokenWorkload) Build(*cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, error) {
+	return nil, nil, b.err
 }
 
 func (g Grid) options(ax Axes) Options {
@@ -206,7 +257,20 @@ func (g Grid) options(ax Axes) Options {
 	}
 	opt := Options{System: g.System, Protocol: ax.Protocol,
 		SFIFO: ax.SFIFO, OwnedAtomics: ax.OwnedAtomics, StrongCycle: ax.StrongCycle}
+	tune := ax.Workload != "" && g.System.NumSMs == 0
 	opt = opt.withDefaults()
+	if tune {
+		// The point's workload came off the registry and the grid did
+		// not pin a system: let the entry shape the default machine
+		// (e.g. implicit's and pipeline's single-SM configurations).
+		if e, ok := Workloads().Lookup(ax.Workload); ok {
+			if cfg, err := e.TuneSystem(false, nil, opt.System); err == nil {
+				mode := opt.System.Engine
+				opt.System = cfg
+				opt.System.Engine = mode
+			}
+		}
+	}
 	if ax.MSHR > 0 {
 		opt.System.MSHREntries = ax.MSHR
 		opt.System.StoreBufEntries = ax.MSHR
@@ -220,6 +284,9 @@ func (g Grid) label(ax Axes) string {
 		return g.Label(ax)
 	}
 	var parts []string
+	if len(g.Workloads) > 0 {
+		parts = append(parts, ax.Workload)
+	}
 	if len(g.Protocols) > 0 {
 		parts = append(parts, ax.Protocol.String())
 	}
