@@ -415,6 +415,116 @@ func BenchmarkPipelineThroughputDense(b *testing.B) {
 	benchThroughput(b, PipelineSystem(), EngineDense, benchPipeline())
 }
 
+// BenchmarkPipelineThroughputNoExpress isolates express routing's share
+// of the pipeline win: same skip engine, per-hop mesh only. The pointer
+// chase holds one load in flight at a time, the ideal express traversal.
+func BenchmarkPipelineThroughputNoExpress(b *testing.B) {
+	sys := PipelineSystem()
+	sys.Express = false
+	benchThroughput(b, sys, EngineSkip, benchPipeline())
+}
+
+// benchSpinUTS and benchSpinUTSD are the ROADMAP's event-density-ceiling
+// shapes: single-warp SMs make lock/queue spin traffic the machine's
+// dominant activity, so per-hop mesh events used to bound every jump to
+// the 1-2 cycles between hops. Express routing models each uncontended
+// traversal as one event; these benchmarks (with their NoExpress
+// references) record how much of the ceiling that removes. blocks sets
+// how many SMs spin concurrently: at 15 the machine is saturated with
+// contending spinners (express's congestion gate keeps it near-inert), at
+// 2 each spin round trip is a long uncontended traversal — the
+// latency-bound regime express routing targets.
+func benchSpinUTS(blocks int) Workload {
+	return NewUTSWith(UTS{Seed: 0xC0FFEE, Nodes: 1000, FrontierMin: 60,
+		Blocks: blocks, WarpsPerBlock: 1, Work: 16, FMAs: 4})
+}
+
+func benchSpinUTSD(blocks int) Workload {
+	return NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 1000, FrontierMin: 60,
+		Blocks: blocks, WarpsPerBlock: 1, Work: 16, FMAs: 4, LQCap: 128})
+}
+
+// BenchmarkSpinUTSThroughput measures contended spin-dominated UTS (15
+// concurrent spinners) under the skip engine with express routing (the
+// default).
+func BenchmarkSpinUTSThroughput(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchSpinUTS(15))
+}
+
+// BenchmarkSpinUTSThroughputNoExpress is the per-hop reference for
+// BenchmarkSpinUTSThroughput.
+func BenchmarkSpinUTSThroughputNoExpress(b *testing.B) {
+	sys := DefaultConfig()
+	sys.Express = false
+	benchThroughput(b, sys, EngineSkip, benchSpinUTS(15))
+}
+
+// BenchmarkSpinUTSThroughputDense is the dense reference (per-hop mesh,
+// every component ticked every cycle).
+func BenchmarkSpinUTSThroughputDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineDense, benchSpinUTS(15))
+}
+
+// BenchmarkSpinUTSDThroughput measures the contended decentralized spin
+// shape under the skip engine with express routing.
+func BenchmarkSpinUTSDThroughput(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchSpinUTSD(15))
+}
+
+// BenchmarkSpinUTSDThroughputNoExpress is the per-hop reference for
+// BenchmarkSpinUTSDThroughput.
+func BenchmarkSpinUTSDThroughputNoExpress(b *testing.B) {
+	sys := DefaultConfig()
+	sys.Express = false
+	benchThroughput(b, sys, EngineSkip, benchSpinUTSD(15))
+}
+
+// BenchmarkSpinUTSDThroughputDense is the dense reference.
+func BenchmarkSpinUTSDThroughputDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineDense, benchSpinUTSD(15))
+}
+
+// BenchmarkSpinUTSLatencyBound and its references measure the two-spinner
+// regime: with most SMs idle, each lock round trip is a long uncontended
+// mesh traversal, so express routing turns nearly every spin wait into one
+// jumpable event (~35% of all cycles skipped; see BENCH_engine.json).
+func BenchmarkSpinUTSLatencyBound(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchSpinUTS(2))
+}
+
+func BenchmarkSpinUTSLatencyBoundNoExpress(b *testing.B) {
+	sys := DefaultConfig()
+	sys.Express = false
+	benchThroughput(b, sys, EngineSkip, benchSpinUTS(2))
+}
+
+func BenchmarkSpinUTSLatencyBoundQuiescent(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineQuiescent, benchSpinUTS(2))
+}
+
+func BenchmarkSpinUTSLatencyBoundDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineDense, benchSpinUTS(2))
+}
+
+// BenchmarkSpinUTSDLatencyBound is the decentralized two-spinner shape.
+func BenchmarkSpinUTSDLatencyBound(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineSkip, benchSpinUTSD(2))
+}
+
+func BenchmarkSpinUTSDLatencyBoundNoExpress(b *testing.B) {
+	sys := DefaultConfig()
+	sys.Express = false
+	benchThroughput(b, sys, EngineSkip, benchSpinUTSD(2))
+}
+
+func BenchmarkSpinUTSDLatencyBoundQuiescent(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineQuiescent, benchSpinUTSD(2))
+}
+
+func BenchmarkSpinUTSDLatencyBoundDense(b *testing.B) {
+	benchThroughput(b, DefaultConfig(), EngineDense, benchSpinUTSD(2))
+}
+
 func benchGUPS() Workload {
 	return NewGUPSWith(GUPS{Seed: 0x6095, Updates: 64, WindowsPerWarp: 32, Blocks: 15, WarpsPerBlock: 4})
 }

@@ -15,6 +15,7 @@ type LatencyRange struct {
 	Min, Max uint64
 }
 
+// String renders the range as "min-max", the form Table 5.1 reports.
 func (r LatencyRange) String() string { return fmt.Sprintf("%d-%d", r.Min, r.Max) }
 
 func (r *LatencyRange) update(v uint64) {

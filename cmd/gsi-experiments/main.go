@@ -36,6 +36,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip (all byte-identical)")
 		dense    = flag.Bool("dense", false, "shorthand for -engine dense")
+		express  = flag.Bool("express", true, "mesh express routing: model uncontended multi-hop traversals as one timed event (always off in dense mode; timing is byte-identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -118,7 +119,14 @@ func main() {
 	}
 	for si := range specs {
 		for ji := range specs[si].Sweep.Jobs {
-			specs[si].Sweep.Jobs[ji].Options.System.Engine = mode
+			o := &specs[si].Sweep.Jobs[ji].Options
+			if o.System.NumSMs == 0 {
+				// Materialize the default system so the engine and
+				// express switches below survive Options' own defaulting.
+				o.System = gsi.DefaultConfig()
+			}
+			o.System.Engine = mode
+			o.System.Express = *express
 		}
 	}
 

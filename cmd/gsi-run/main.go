@@ -35,7 +35,7 @@ func main() {
 		param    = flag.String("param", "", "comma-separated workload parameter overrides, name=value (see -list-workloads)")
 		protocol = flag.String("protocol", "denovo", "comma-separated: gpu | denovo")
 		local    = flag.String("local", "scratchpad", "implicit only, comma-separated: scratchpad | dma | stash")
-		warps    = flag.Int("warps", 0, "shorthand for -param warps=N (implicit: fewer warps = less MLP, more latency-dominated)")
+		warps    = flag.Int("warps", 0, "shorthand for -param warps=N (warp count: most workloads take it; fewer warps = less MLP, more latency-dominated)")
 		nodes    = flag.Int("nodes", 0, "shorthand for -param nodes=N (uts/utsd tree size)")
 		sms      = flag.Int("sms", 0, "SM count override (default: per-workload tuned system)")
 		mshr     = flag.String("mshr", "32", "comma-separated MSHR (and store buffer) entries")
@@ -48,6 +48,8 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress sweep progress on stderr")
 		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip (all byte-identical)")
 		dense    = flag.Bool("dense", false, "shorthand for -engine dense")
+		express  = flag.Bool("express", true, "mesh express routing: model uncontended multi-hop traversals as one timed event (always off in dense mode; timing is byte-identical either way)")
+		stats    = flag.Bool("stats", false, "print per-run engine scheduling stats (steps, jumps, express deliveries/demotions) to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -181,6 +183,7 @@ func main() {
 				sys.NumSMs = *sms
 			}
 			sys.Engine = mode
+			sys.Express = *express
 			return gsi.Options{System: sys, Protocol: ax.Protocol,
 				SFIFO: *sfifo, OwnedAtomics: *owned, Timeline: *timeline}
 		},
@@ -194,6 +197,18 @@ func main() {
 	results, err := sweep.Run(cfg)
 	sweepMode := len(results) > 1
 	emit := func(rs []gsi.SweepResult) {
+		if *stats {
+			// Stderr, not the report stream: engine stats legitimately
+			// differ between modes, while stdout stays byte-identical
+			// (the CI consistency gate diffs it).
+			for _, res := range rs {
+				st := res.Report.EngineStats
+				fmt.Fprintf(os.Stderr,
+					"engine stats [%s]: steps=%d jumps=%d skipped=%d express=%d demotions=%d\n",
+					res.Job.Label, st.Steps, st.Jumps, st.SkippedCycles,
+					st.ExpressDeliveries, st.ExpressDemotions)
+			}
+		}
 		if *jsonOut {
 			printJSON(rs)
 			return

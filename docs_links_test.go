@@ -1,0 +1,105 @@
+package gsi
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Image links and
+// reference-style links are not used in this repository.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// mdHeading matches ATX headings for anchor derivation.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// docFiles returns every markdown file the link gate covers.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	for _, glob := range []string{"docs/*.md", "examples/*/README.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	return files
+}
+
+// anchorSlug derives the GitHub-style anchor for a heading: lower-cased,
+// spaces to dashes, punctuation (except dashes) dropped, backticks
+// stripped.
+func anchorSlug(heading string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		case r == '-' || r == '_':
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// anchorsOf returns the set of heading anchors a markdown file defines.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]bool{}
+	for _, m := range mdHeading.FindAllStringSubmatch(string(raw), -1) {
+		anchors[anchorSlug(m[1])] = true
+	}
+	return anchors
+}
+
+// TestDocLinks is the markdown link gate: every relative link in the
+// README, docs/, and example READMEs must point at an existing file (or
+// directory), and every #anchor — with or without a file part — must
+// match a heading in the target document. External http(s) links are out
+// of scope. This keeps the README ↔ ARCHITECTURE ↔ examples
+// cross-reference web live as sections are renamed.
+func TestDocLinks(t *testing.T) {
+	for _, path := range docFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Dir(path)
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(dir, file)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", path, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				t.Errorf("%s: anchor link %q into a non-markdown target", path, target)
+				continue
+			}
+			if !anchorsOf(t, resolved)[frag] {
+				t.Errorf("%s: link %q: no heading in %s produces anchor #%s",
+					path, target, resolved, frag)
+			}
+		}
+	}
+}

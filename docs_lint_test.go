@@ -1,0 +1,170 @@
+package gsi
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseDirFiles parses every non-test Go file of one directory with
+// comments attached.
+func parseDirFiles(t *testing.T, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// goPackageDirs returns every directory in the repository holding a
+// non-test Go package (the public package, internal packages, commands,
+// and examples).
+func goPackageDirs(t *testing.T) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestGodocCoverage is the missing-doc lint gate (the repo-local
+// equivalent of revive's exported rule, with no dependency): every
+// package must carry a package-level doc comment, and every exported
+// identifier of the public gsi package — types, functions, methods on
+// exported receivers, consts and vars (group docs count) — must carry a
+// doc comment. CI runs this through go test, so doc coverage cannot
+// regress silently.
+func TestGodocCoverage(t *testing.T) {
+	for _, dir := range goPackageDirs(t) {
+		files := parseDirFiles(t, dir)
+		if len(files) == 0 {
+			continue
+		}
+		hasDoc := false
+		for _, f := range files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			t.Errorf("package %s (%s) has no package-level doc comment", files[0].Name.Name, dir)
+		}
+	}
+
+	var missing []string
+	for _, f := range parseDirFiles(t, ".") {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !receiverExported(d) {
+					continue
+				}
+				if d.Doc == nil {
+					missing = append(missing, fmt.Sprintf("func %s", funcLabel(d)))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							missing = append(missing, "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								missing = append(missing, "value "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, m := range missing {
+		t.Errorf("exported identifier missing a doc comment in package gsi: %s", m)
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (functions count as exported receivers).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcLabel renders "Recv.Name" for methods, "Name" for functions.
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return fmt.Sprintf("(%s).%s", exprString(d.Recv.List[0].Type), d.Name.Name)
+}
+
+// exprString renders the small subset of receiver type expressions used
+// in this package.
+func exprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "*" + exprString(t.X)
+	case *ast.Ident:
+		return t.Name
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -122,14 +122,17 @@ func TestEnginesIdenticalWithTimeline(t *testing.T) {
 // idle phases, and GUPS's MSHR saturation — runs at SmallScale under the
 // skip-ahead engine and must produce the byte-identical JSON report the
 // dense reference loop does. Any component under-promising on any of
-// these access patterns diverges here.
+// these access patterns diverges here. The skip engine runs twice, with
+// mesh express routing on and off, so an express-timing bug is isolated
+// from a skip-planning bug: express-off skip diverging blames the
+// planner, express-on alone diverging blames the express path.
 func TestNextEventWorkloadPool(t *testing.T) {
 	reg := Workloads()
 	for _, name := range reg.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			e, _ := reg.Lookup(name)
-			run := func(mode EngineMode) *Report {
+			run := func(mode EngineMode, express bool) *Report {
 				w, err := e.BuildSmall(nil)
 				if err != nil {
 					t.Fatal(err)
@@ -142,26 +145,36 @@ func TestNextEventWorkloadPool(t *testing.T) {
 				}
 				opt.System = cfg
 				opt.System.Engine = mode
+				opt.System.Express = express
 				rep, err := Run(opt, w)
 				if err != nil {
 					t.Fatalf("%s engine: %v", mode, err)
 				}
 				return rep
 			}
-			dense := run(EngineDense)
+			dense := run(EngineDense, false)
 			dj, err := dense.JSON()
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, mode := range []EngineMode{EngineQuiescent, EngineSkip} {
-				rep := run(mode)
+			variants := []struct {
+				label   string
+				mode    EngineMode
+				express bool
+			}{
+				{"quiescent", EngineQuiescent, true},
+				{"skip", EngineSkip, true},
+				{"skip/no-express", EngineSkip, false},
+			}
+			for _, v := range variants {
+				rep := run(v.mode, v.express)
 				rj, err := rep.JSON()
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !bytes.Equal(rj, dj) {
 					a, b := diffLine(rj, dj)
-					t.Errorf("%s diverges from dense:\n %s: %s\n dense: %s", mode, mode, a, b)
+					t.Errorf("%s diverges from dense:\n %s: %s\n dense: %s", v.label, v.label, a, b)
 				}
 			}
 		})

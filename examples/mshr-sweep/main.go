@@ -1,6 +1,6 @@
 // MSHR sensitivity sweep (section 6.2.4, figure 6.4): run the implicit
 // microbenchmark on all three local-memory organizations while growing the
-// MSHR (and store buffer) from 32 to 256 entries, and show how eliminating
+// MSHR (and store buffer) from 32 to 512 entries, and show how eliminating
 // full-MSHR stalls surfaces the next bottleneck of each organization.
 //
 //	go run ./examples/mshr-sweep
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	sc := gsi.DefaultScale() // MSHR sizes 32, 64, 128, 256
+	sc := gsi.DefaultScale() // MSHR sizes 32 to 512
 	// Batch all twelve runs through the worker pool (Parallel 0 = all
 	// cores); results are identical to the serial gsi.Figure64.
 	sets, err := gsi.RunFigureSpecs(gsi.Figure64Specs(sc), gsi.SweepConfig{})

@@ -1,0 +1,68 @@
+package gsi
+
+import "testing"
+
+// spinShape returns the spin-dominated tree-search shapes the ROADMAP's
+// event-density-ceiling item describes: one warp per SM, so nearly all
+// machine activity is lock/queue traffic crossing the mesh, and per-hop
+// message movement is what used to bound every skip-ahead jump to 1-2
+// cycles.
+func spinUTS() Workload {
+	return NewUTSWith(UTS{Seed: 0xC0FFEE, Nodes: 250, FrontierMin: 60,
+		Blocks: 15, WarpsPerBlock: 1, Work: 16, FMAs: 4})
+}
+
+func spinUTSD() Workload {
+	return NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 250, FrontierMin: 60,
+		Blocks: 15, WarpsPerBlock: 1, Work: 16, FMAs: 4, LQCap: 128})
+}
+
+// TestExpressBreaksEventDensityCeiling guards the point of express
+// routing: on mesh-bound spin traffic (UTS/UTSD with single-warp SMs),
+// the skip engine must route traversals express, take jumps, and skip
+// strictly more cycles than it can with express disabled — the regime
+// where per-hop events used to collapse every jump. Result bytes are
+// covered by the engine diff tests; this test pins the scheduling-cost
+// claim.
+func TestExpressBreaksEventDensityCeiling(t *testing.T) {
+	cases := []struct {
+		name string
+		w    func() Workload
+	}{
+		{"uts", spinUTS},
+		{"utsd", spinUTSD},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(express bool) EngineStats {
+				sys := DefaultConfig()
+				sys.Engine = EngineSkip
+				sys.Express = express
+				rep, err := Run(Options{System: sys, Protocol: DeNovo}, tc.w())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep.EngineStats
+			}
+			on, off := run(true), run(false)
+			if on.Jumps == 0 {
+				t.Fatalf("no jumps with express routing: %+v", on)
+			}
+			if on.ExpressDeliveries == 0 {
+				t.Fatalf("spin traffic never completed an express traversal: %+v", on)
+			}
+			if on.ExpressDemotions == 0 {
+				t.Fatalf("contending spin traffic never demoted a flit (the congestion-adaptive switch never fired): %+v", on)
+			}
+			if on.SkippedCycles <= off.SkippedCycles {
+				t.Errorf("express routing did not widen the jumped windows: %d skipped cycles with express, %d without",
+					on.SkippedCycles, off.SkippedCycles)
+			}
+			if off.ExpressDeliveries != 0 || off.ExpressDemotions != 0 {
+				t.Errorf("express counters nonzero with express disabled: %+v", off)
+			}
+			t.Logf("express on: %+v", on)
+			t.Logf("express off: %+v", off)
+		})
+	}
+}

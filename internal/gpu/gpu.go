@@ -174,5 +174,7 @@ func (g *GPU) Run() (uint64, error) {
 	}
 	g.Insp.Flush()
 	g.EngineStats = eng.Stats()
+	g.EngineStats.ExpressDeliveries = g.Sys.Mesh.Stats.ExpressDeliveries
+	g.EngineStats.ExpressDemotions = g.Sys.Mesh.Stats.ExpressDemotions
 	return cycles, err
 }

@@ -49,6 +49,9 @@ func NewSystem(cfg sim.Config, policies []Policy) (*System, error) {
 		s.tileCore[t] = i
 	}
 	s.Mesh = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LinkLat, cfg.RouterLat, s.deliver)
+	// Express routing stays off in dense mode so the reference loop always
+	// exercises the per-hop pipeline the engine diff tests compare against.
+	s.Mesh.SetExpress(cfg.Express && cfg.EngineMode() != sim.EngineDense)
 
 	s.Banks = make([]*L2Bank, cfg.L2Banks)
 	for b := range s.Banks {

@@ -4,6 +4,17 @@
 // distance dependent plus contention, which is what produces the paper's
 // reported latency ranges (L2 hit 29-61 cycles, remote L1 35-83, memory
 // 197-261) from single base parameters.
+//
+// The mesh participates in event-driven skip-ahead through two mechanisms.
+// NextEvent reports the earliest cycle any buffered message can move,
+// maintained incrementally by a due-time tracker. Express routing (see
+// express.go, enabled via SetExpress) goes further: a message whose whole
+// route is uncontended is modeled as one timed delivery event instead of
+// per-hop queue movements, and is demoted back into the per-hop pipeline —
+// materialized at its current interpolated hop — the moment potentially
+// contending traffic enters its path. Both preserve the per-hop latency
+// model exactly; they only change how many simulation events it takes to
+// realize it.
 package noc
 
 import "fmt"
@@ -157,6 +168,23 @@ type Mesh struct {
 	wake      func()
 	due       dueTracker
 
+	// Express-routing state (see express.go): exEdges indexes every
+	// pending (router, direction) queue of every in-flight express flit
+	// for O(1) demotion triggering, exLocal holds at most one pending
+	// express delivery per destination tile, and exCount the flits in
+	// flight. The intra-tick fields record how far the router loop has
+	// progressed so a demotion can materialize a flit at exactly the
+	// per-hop position the reference pipeline would hold it.
+	express   bool
+	exEdges   []exEdge
+	exLocal   []*exFlit
+	exCount   int
+	inTick    bool
+	tickCycle uint64
+	tickPos   int
+	ticked    uint64
+	hasTicked bool
+
 	// Stats counts traffic for network reporting.
 	Stats Stats
 }
@@ -166,7 +194,14 @@ type Stats struct {
 	Messages uint64 // messages delivered
 	Hops     uint64 // total link traversals
 	Injected uint64 // messages injected
-	InFlight int    // messages currently buffered
+	InFlight int    // messages currently buffered (incl. express flits)
+
+	// ExpressDeliveries counts messages whose whole traversal was
+	// modeled as one timed event; ExpressDemotions counts express flits
+	// that were materialized back into the per-hop pipeline because
+	// potentially contending traffic entered their path.
+	ExpressDeliveries uint64
+	ExpressDemotions  uint64
 }
 
 // New builds a w x h mesh. handler receives every delivered message.
@@ -181,8 +216,16 @@ func New(w, h, linkLat, routerLat int, handler Handler) *Mesh {
 		routers:   make([]router, w*h),
 		handler:   handler,
 		due:       newDueTracker(),
+		exEdges:   make([]exEdge, w*h*numDirs),
+		exLocal:   make([]*exFlit, w*h),
 	}
 }
+
+// SetExpress enables or disables express routing (off by default; the
+// memory system enables it per sim.Config.Express, never in dense mode, so
+// the dense reference loop always exercises the per-hop pipeline the
+// engine diff compares against).
+func (m *Mesh) SetExpress(on bool) { m.express = on }
 
 // SetWaker installs the callback that re-arms the mesh in the scheduling
 // engine; Send invokes it so an idle mesh starts ticking again as soon as a
@@ -215,6 +258,12 @@ func (m *Mesh) Send(cycle uint64, src, dst int, port Port, payload any) {
 	}
 	m.Stats.Injected++
 	m.Stats.InFlight++
+	if m.tryExpress(cycle, src, dst, port, payload) {
+		if m.wake != nil {
+			m.wake()
+		}
+		return
+	}
 	m.route(src, &msg{dst: dst, port: port, payload: payload, readyAt: cycle + m.routerLat})
 	if m.wake != nil {
 		m.wake()
@@ -222,20 +271,15 @@ func (m *Mesh) Send(cycle uint64, src, dst int, port Port, payload any) {
 }
 
 // route places a message in the proper output queue of tile's router.
-// XY routing: correct X first, then Y, then eject locally.
+// XY routing: correct X first, then Y, then eject locally. Any express
+// flit whose remaining path still includes the target queue is demoted
+// first (materialized into the per-hop pipeline), so the pushed message
+// lands behind it in FIFO order exactly as the per-hop world would have
+// it.
 func (m *Mesh) route(tile int, mg *msg) {
-	tx, ty := tile%m.w, tile/m.w
-	dx, dy := mg.dst%m.w, mg.dst/m.w
-	dir := dirLocal
-	switch {
-	case dx > tx:
-		dir = dirEast
-	case dx < tx:
-		dir = dirWest
-	case dy > ty:
-		dir = dirSouth
-	case dy < ty:
-		dir = dirNorth
+	dir := m.dirToward(tile, mg.dst)
+	if m.exCount > 0 {
+		m.contend(tile, dir)
 	}
 	m.routers[tile].out[dir].push(mg)
 	m.routers[tile].queued++
@@ -259,16 +303,25 @@ func (m *Mesh) neighbor(tile, dir int) int {
 
 // Tick advances every router by one cycle: each output port forwards at
 // most one ready message (link bandwidth), and each local port delivers at
-// most one ready message to its endpoint (ejection bandwidth). It reports
-// whether any message remains buffered (the mesh sleeps otherwise).
+// most one ready message to its endpoint (ejection bandwidth) — a due
+// express flit ejects from the same slot, at the same intra-cycle
+// position, the per-hop pipeline would deliver it from. It reports whether
+// any message remains buffered (the mesh sleeps otherwise).
 func (m *Mesh) Tick(cycle uint64) bool {
+	m.inTick = true
+	m.tickCycle = cycle
+	m.tickPos = 0
 	for i := range m.routers {
 		r := &m.routers[i]
 		if r.queued == 0 {
-			// Idle router: no queue can pop anything, skip the scan.
-			continue
+			// Idle router: no queue can pop anything; skip the scan
+			// unless an express delivery is due here this cycle.
+			if f := m.exLocal[i]; f == nil || f.deliverAt > cycle {
+				continue
+			}
 		}
 		for dir := 0; dir < dirLocal; dir++ {
+			m.tickPos = posOf(i, dir)
 			mg := r.out[dir].popReady(cycle)
 			if mg == nil {
 				continue
@@ -279,7 +332,12 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			mg.readyAt = cycle + m.linkLat + m.routerLat
 			m.route(m.neighbor(i, dir), mg)
 		}
-		if mg := r.out[dirLocal].popReady(cycle); mg != nil {
+		m.tickPos = posOf(i, dirLocal)
+		// Re-read the delivery slot: a demotion triggered by one of the
+		// pops above may have materialized the flit into a real queue.
+		if f := m.exLocal[i]; f != nil && f.deliverAt <= cycle {
+			m.deliverExpress(f, cycle, i)
+		} else if mg := r.out[dirLocal].popReady(cycle); mg != nil {
 			r.queued--
 			m.due.remove(mg.readyAt)
 			m.Stats.Messages++
@@ -288,6 +346,9 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			m.handler(cycle, i, mg.port, mg.payload)
 		}
 	}
+	m.inTick = false
+	m.ticked = cycle
+	m.hasTicked = true
 	return m.Stats.InFlight > 0
 }
 
@@ -325,6 +386,6 @@ func (m *Mesh) NextEvent(now uint64) uint64 {
 
 // Diagnose describes pending traffic for engine deadlock dumps.
 func (m *Mesh) Diagnose() string {
-	return fmt.Sprintf("in-flight=%d injected=%d delivered=%d",
-		m.Stats.InFlight, m.Stats.Injected, m.Stats.Messages)
+	return fmt.Sprintf("in-flight=%d (express %d) injected=%d delivered=%d",
+		m.Stats.InFlight, m.exCount, m.Stats.Injected, m.Stats.Messages)
 }

@@ -103,6 +103,17 @@ type Config struct {
 	// kept for older callers; when set it overrides Engine. Prefer
 	// Engine = EngineDense.
 	DenseTicking bool
+
+	// Express enables mesh express routing (Default sets it): a message
+	// whose whole route is uncontended is modeled as one timed delivery
+	// event at now + hops*(link+router latency) instead of per-hop queue
+	// movements, and is demoted back to the per-hop model the moment
+	// potentially contending traffic enters its path. Timing is
+	// byte-identical either way; express only reduces event density so
+	// the skip-ahead engine can jump mesh traversals. The dense
+	// reference loop always runs per-hop regardless of this switch, so
+	// the cross-engine diff tests double as the express safety net.
+	Express bool
 }
 
 // EngineMode resolves the scheduling loop, honoring the legacy
@@ -157,6 +168,8 @@ func Default() Config {
 		FetchLat:    3,
 
 		MaxCycles: 50_000_000,
+
+		Express: true,
 	}
 }
 

@@ -19,6 +19,11 @@
 //     jumps the clock straight to the earliest event instead of ticking
 //     through the gap. Components implementing Skipper are told about the
 //     jumped window so they can account the skipped cycles in bulk.
+//
+// docs/ARCHITECTURE.md is the component author's guide to these
+// contracts — the idle-tick no-op rule, Wake re-arming, the NextEvent
+// never-under-promise contract, and bulk span crediting — with each
+// invariant cross-referenced to the test that enforces it.
 package sim
 
 import (
@@ -154,7 +159,7 @@ func (h Handle) Wake() {
 }
 
 // EngineStats counts scheduling work for benchmarks and tests; it is not
-// part of any Report (all engine modes produce identical Reports).
+// part of any Report's JSON (all engine modes produce identical Reports).
 type EngineStats struct {
 	// Steps is the number of cycles actually executed (tick passes).
 	Steps uint64
@@ -163,6 +168,14 @@ type EngineStats struct {
 	// SkippedCycles is the total width of all jumped windows: simulated
 	// cycles that were accounted without a tick pass.
 	SkippedCycles uint64
+	// ExpressDeliveries counts mesh messages whose whole traversal was
+	// modeled as one timed event (express routing), and ExpressDemotions
+	// counts express flits materialized back into the per-hop pipeline
+	// by potentially contending traffic. The engine itself does not
+	// produce these; the GPU run loop copies them from the mesh so one
+	// stats block describes the run's whole event-density picture.
+	ExpressDeliveries uint64
+	ExpressDemotions  uint64
 }
 
 // Engine drives the simulation: a single-threaded cycle loop over the

@@ -12,6 +12,13 @@ import (
 // the shape of a real component exchanging timed messages. NextEvent
 // reports the earliest pending event, so the skip-ahead engine may jump
 // straight to it.
+//
+// One branch models an express-routed mesh traversal: a single far-future
+// event standing for a whole multi-hop delivery, which a later peer
+// exchange may "demote" — replace with a much nearer event plus a Wake,
+// exactly the pattern of contending traffic materializing an express flit
+// back into the per-hop pipeline. The engine must cope with a component's
+// NextEvent moving earlier after a wake.
 type timedComp struct {
 	name   string
 	events []uint64 // sorted pending event times
@@ -19,6 +26,9 @@ type timedComp struct {
 	handle Handle
 	rng    uint64
 	log    *[]string
+	// expressAt is the pending express-style event (0 = none): scheduled
+	// far out, possibly demoted to a near event by the peer.
+	expressAt uint64
 	// skips records SkipAhead windows for assertions.
 	skips []string
 }
@@ -37,10 +47,22 @@ func (c *timedComp) next(bound uint64) uint64 {
 	return (c.rng >> 33) % bound
 }
 
+func (c *timedComp) unschedule(at uint64) {
+	for i, e := range c.events {
+		if e == at {
+			c.events = append(c.events[:i], c.events[i+1:]...)
+			return
+		}
+	}
+}
+
 func (c *timedComp) Tick(cycle uint64) bool {
 	for len(c.events) > 0 && c.events[0] <= cycle {
 		at := c.events[0]
 		c.events = c.events[1:]
+		if at == c.expressAt {
+			c.expressAt = 0 // the express traversal completed undisturbed
+		}
 		// A late-fired event is exactly an under-promise: the engine
 		// jumped past it. Make the failure visible in the log.
 		status := "ok"
@@ -48,7 +70,7 @@ func (c *timedComp) Tick(cycle uint64) bool {
 			status = fmt.Sprintf("LATE(due=%d)", at)
 		}
 		*c.log = append(*c.log, fmt.Sprintf("%s@%d:%s", c.name, cycle, status))
-		switch c.next(4) {
+		switch c.next(6) {
 		case 0:
 			c.schedule(cycle + 1 + c.next(40))
 		case 1:
@@ -56,6 +78,23 @@ func (c *timedComp) Tick(cycle uint64) bool {
 			// it, like a mesh delivery re-arming a sleeping unit.
 			c.peer.schedule(cycle + 1 + c.next(25))
 			c.peer.handle.Wake()
+		case 2:
+			// Express-route exchange: one far event stands for a whole
+			// uncontended multi-hop traversal.
+			if c.expressAt == 0 {
+				c.expressAt = cycle + 10 + c.next(160)
+				c.schedule(c.expressAt)
+			}
+		case 3:
+			// Contention reaches the peer's express path: demote it —
+			// the far promise is replaced by a near per-hop event and
+			// the peer re-armed, like a materialized flit.
+			if p := c.peer; p.expressAt > cycle+1 {
+				p.unschedule(p.expressAt)
+				p.schedule(cycle + 1 + c.next(6))
+				p.expressAt = 0
+				p.handle.Wake()
+			}
 		}
 	}
 	return len(c.events) > 0

@@ -1,15 +1,26 @@
-// Package workloads implements the paper's benchmarks as kernels for the
-// simulated GPU: UTS (unbalanced tree search over a single global task
-// queue, section 6.1.2), UTSD (the decentralized variant with per-SM local
-// queues and a global overflow queue, section 6.1.4), and the implicit
-// streaming microbenchmark of case study 2 in its three local-memory
-// configurations.
+// Package workloads implements the simulator's benchmark suite as kernels
+// for the simulated GPU: the paper's three — UTS (unbalanced tree search
+// over a single global task queue, section 6.1.2), UTSD (the
+// decentralized variant with per-SM local queues and a global overflow
+// queue, section 6.1.4), and the implicit streaming microbenchmark of
+// case study 2 in its three local-memory configurations — plus the
+// sparse/bursty additions that span the event-density spectrum:
+// level-synchronized BFS (frontier atomics, software global barriers),
+// CSR SpMV (streaming rows, indirect gathers), a producer-consumer
+// pipeline (long idle phases, the skip-ahead showcase), and GUPS
+// (random-access updates, MSHR/coalescer saturation).
 //
-// The paper's real UTS inputs are not available, so trees are synthesized
-// deterministically from a seed (splitmix64-hashed child counts, bounded
-// total size). The properties the case studies measure — dynamic load
-// imbalance and queue/lock contention — come from the task-queue protocol,
-// which is reproduced exactly.
+// Every workload is deterministic: inputs are synthesized from a seed
+// (splitmix64 via isa.Mix64) and each run ends with a CPU-side functional
+// verifier that recomputes the expected memory image. The Registry maps
+// workload names to constructors, parameter schemas with default and
+// SmallScale values, and optional system-shaping hooks; both CLIs and the
+// sweep Grid's workload axis drive that one table, and registering an
+// entry enrolls the workload in the engine diff tests automatically.
+// framework.go holds the shared kernel-authoring helpers (WarpChunk,
+// InitConsts, spin-lock and hash-chain emitters); see the README's
+// "Authoring a workload" guide and docs/ARCHITECTURE.md for the component
+// and engine contracts kernels must respect.
 package workloads
 
 import "gsi/internal/isa"

@@ -35,10 +35,11 @@ type Report struct {
 	Timeline string `json:"timeline,omitempty"`
 
 	// EngineStats counts the scheduling work of the run (tick passes,
-	// skip-ahead jumps, skipped cycles). Excluded from JSON: every
-	// engine mode produces identical simulation results, but their
-	// scheduling cost necessarily differs, and the serialized report is
-	// the byte-identity contract between them.
+	// skip-ahead jumps, skipped cycles, express-routed mesh deliveries
+	// and demotions). Excluded from JSON: every engine mode produces
+	// identical simulation results, but their scheduling cost
+	// necessarily differs, and the serialized report is the
+	// byte-identity contract between them.
 	EngineStats EngineStats `json:"-"`
 }
 
