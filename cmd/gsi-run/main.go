@@ -210,6 +210,15 @@ func main() {
 			}
 		}
 		if *jsonOut {
+			if *stats {
+				// Explicit opt-in: with both flags the scheduling
+				// counters also join the JSON documents (which are then
+				// not comparable across engine modes — the plain -json
+				// stream stays the byte-identity surface CI diffs).
+				for _, res := range rs {
+					res.Report.IncludeEngineStats()
+				}
+			}
 			printJSON(rs)
 			return
 		}
@@ -316,14 +325,11 @@ func localParam(lm gsi.LocalMem) string {
 func parseProtocols(s string) []gsi.Protocol {
 	var out []gsi.Protocol
 	for _, f := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(f)) {
-		case "gpu", "gpucoherence", "gpu-coherence":
-			out = append(out, gsi.GPUCoherence)
-		case "denovo":
-			out = append(out, gsi.DeNovo)
-		default:
-			fail("unknown protocol %q", f)
+		p, err := gsi.ParseProtocol(f)
+		if err != nil {
+			fail("%v", err)
 		}
+		out = append(out, p)
 	}
 	return out
 }
@@ -331,16 +337,11 @@ func parseProtocols(s string) []gsi.Protocol {
 func parseLocals(s string) []gsi.LocalMem {
 	var out []gsi.LocalMem
 	for _, f := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(f)) {
-		case "scratchpad", "scratch":
-			out = append(out, gsi.Scratchpad)
-		case "dma", "scratchpad+dma":
-			out = append(out, gsi.ScratchpadDMA)
-		case "stash":
-			out = append(out, gsi.Stash)
-		default:
-			fail("unknown local memory %q", f)
+		lm, err := gsi.ParseLocalMem(f)
+		if err != nil {
+			fail("%v", err)
 		}
+		out = append(out, lm)
 	}
 	return out
 }

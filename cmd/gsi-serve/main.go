@@ -1,0 +1,87 @@
+// Command gsi-serve runs the sweep service: a long-running HTTP/JSON
+// server that accepts sweep submissions (cartesian grids in the public
+// Grid/Axes vocabulary), executes them on a shared bounded worker pool,
+// and serves results through a content-addressed cache — identical grid
+// points across overlapping submissions are answered from cache,
+// byte-identical to a fresh run.
+//
+// Examples:
+//
+//	gsi-serve -addr :8080 -parallel 8 -cache-dir /var/cache/gsi
+//
+//	curl -X POST localhost:8080/sweeps -d '{
+//	  "name": "mshr",
+//	  "workloads": ["implicit"],
+//	  "localMems": ["scratchpad", "stash"],
+//	  "mshrSizes": [32, 64]
+//	}'
+//	curl 'localhost:8080/sweeps/s1?wait=1'
+//	curl localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server drains gracefully: new submissions are
+// refused with 503, running jobs finish, the cache is flushed to
+// -cache-dir, and only then does the listener shut down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gsi"
+	"gsi/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		parallel = flag.Int("parallel", 0, "simulation pool size shared across submissions (0 = all cores)")
+		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip (results are byte-identical; this is a wall-clock knob)")
+		cacheDir = flag.String("cache-dir", "", "persist the result cache in this directory (loaded at startup, flushed on drain)")
+		timeout  = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for the HTTP listener to close after jobs drain")
+	)
+	flag.Parse()
+	mode, err := gsi.ParseEngineMode(*engine)
+	if err != nil {
+		fail("%v", err)
+	}
+	server, err := serve.New(serve.Config{Workers: *parallel, Engine: mode, CacheDir: *cacheDir})
+	if err != nil {
+		fail("%v", err)
+	}
+	hs := &http.Server{Addr: *addr, Handler: server.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("gsi-serve: listening on %s (pool=%d, engine=%s)", *addr, *parallel, *engine)
+
+	select {
+	case err := <-errc:
+		fail("%v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	log.Printf("gsi-serve: draining (refusing new sweeps, finishing running jobs)")
+	if err := server.Drain(); err != nil {
+		log.Printf("gsi-serve: cache flush: %v", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("gsi-serve: shutdown: %v", err)
+	}
+	log.Printf("gsi-serve: drained")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gsi-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ package gsi
 
 import (
 	"fmt"
+	"strings"
 
 	"gsi/internal/coherence"
 	"gsi/internal/core"
@@ -102,6 +103,19 @@ const (
 	DeNovo
 )
 
+// ParseProtocol parses a protocol name as the CLIs and the serve layer
+// accept it: "gpu" (also "gpucoherence", "gpu-coherence") or "denovo",
+// case-insensitively.
+func ParseProtocol(s string) (Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "gpu", "gpucoherence", "gpu-coherence":
+		return GPUCoherence, nil
+	case "denovo":
+		return DeNovo, nil
+	}
+	return DeNovo, fmt.Errorf("gsi: unknown protocol %q (want gpu or denovo)", s)
+}
+
 // String names the protocol as in the paper's figures.
 func (p Protocol) String() string {
 	switch p {
@@ -130,6 +144,21 @@ const (
 	ScratchpadDMA = gpu.LocalScratchDMA
 	Stash         = gpu.LocalStash
 )
+
+// ParseLocalMem parses a local-memory organization name as the CLIs and
+// the serve layer accept it: "scratchpad" (also "scratch"), "dma" (also
+// "scratchpad+dma"), or "stash", case-insensitively.
+func ParseLocalMem(s string) (LocalMem, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "scratchpad", "scratch":
+		return Scratchpad, nil
+	case "dma", "scratchpad+dma":
+		return ScratchpadDMA, nil
+	case "stash":
+		return Stash, nil
+	}
+	return Scratchpad, fmt.Errorf("gsi: unknown local memory %q (want scratchpad, dma, or stash)", s)
+}
 
 // SystemConfig re-exports the architectural parameter block; the zero
 // value is not valid — start from DefaultConfig (Table 5.1).

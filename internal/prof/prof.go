@@ -7,10 +7,25 @@ package prof
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// Routes registers the standard pprof HTTP handlers on mux under
+// /debug/pprof/ — the long-running server's counterpart of the CLIs' file
+// profiles, so gsi-serve hot spots can be inspected live:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile
+func Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
 
 // Start begins a CPU profile (cpuPath non-empty) and arranges a heap
 // profile snapshot (memPath non-empty). The returned stop function ends the

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: cache key (a
+// gsi.CacheKey hex digest) -> the exact serialized Report bytes of the
+// run. Entries are immutable once written — determinism means a key has
+// exactly one correct value — so hits can hand out the stored slice
+// without copying. The cache lives in memory; when a directory is
+// configured, entries already on disk are loaded at construction and new
+// entries are written out by flush (the drain path).
+type resultCache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string][]byte
+	dirty   map[string]bool
+}
+
+// newResultCache builds the cache, loading any persisted entries from
+// dir (which is created if missing). An empty dir disables persistence.
+func newResultCache(dir string) (*resultCache, error) {
+	c := &resultCache{dir: dir, entries: map[string][]byte{}, dirty: map[string]bool{}}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading cache entry: %w", err)
+		}
+		key := strings.TrimSuffix(filepath.Base(name), ".json")
+		c.entries[key] = data
+	}
+	return c, nil
+}
+
+// get returns the stored bytes for key.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.entries[key]
+	return data, ok
+}
+
+// put stores the bytes for key; a pre-existing entry wins (it is
+// necessarily identical, and keeping it makes put idempotent under the
+// rare leader/raced-completion overlap).
+func (c *resultCache) put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = data
+	c.dirty[key] = true
+}
+
+// size returns the number of cached results.
+func (c *resultCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// flush writes entries not yet persisted to the cache directory; without
+// a directory it is a no-op. Used by the drain path so a restarted server
+// starts warm.
+func (c *resultCache) flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == "" {
+		c.dirty = map[string]bool{}
+		return nil
+	}
+	for key := range c.dirty {
+		path := filepath.Join(c.dir, key+".json")
+		if err := os.WriteFile(path, c.entries[key], 0o644); err != nil {
+			return fmt.Errorf("serve: flushing cache entry: %w", err)
+		}
+		delete(c.dirty, key)
+	}
+	return nil
+}

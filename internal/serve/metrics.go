@@ -1,0 +1,154 @@
+package serve
+
+import "sync"
+
+// nsPerCycleBounds are the upper bounds (inclusive, in nanoseconds of
+// wall clock per simulated GPU cycle) of the throughput histogram's
+// buckets; observations above the last bound land in the overflow
+// bucket. Powers of two from 1 ns to ~1 ms per cycle cover everything
+// from skip-ahead bursts to dense-mode crawls.
+var nsPerCycleBounds = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+	1024, 4096, 16384, 65536, 262144, 1048576,
+}
+
+// metrics is the server's observability state, exposed on /metrics. All
+// methods are safe for concurrent use.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted uint64 // jobs accepted across all sweeps
+	running   uint64 // simulations executing right now (pool slots held)
+	done      uint64 // jobs finished successfully (any source)
+	failed    uint64 // jobs finished with an error
+
+	cacheHits   uint64 // jobs served from the result cache
+	dedupHits   uint64 // jobs that shared another job's in-flight run
+	simulations uint64 // fresh simulations completed
+
+	simNanos  uint64 // total wall-clock nanoseconds across simulations
+	simCycles uint64 // total simulated cycles across simulations
+
+	hist []uint64 // ns-per-cycle histogram; last slot is overflow
+}
+
+func newMetrics() *metrics {
+	return &metrics{hist: make([]uint64, len(nsPerCycleBounds)+1)}
+}
+
+func (m *metrics) enqueue(n int) {
+	m.mu.Lock()
+	m.submitted += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) runStart() {
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+}
+
+func (m *metrics) runEnd() {
+	m.mu.Lock()
+	m.running--
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobDone(failed bool) {
+	m.mu.Lock()
+	if failed {
+		m.failed++
+	} else {
+		m.done++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) dedupHit() {
+	m.mu.Lock()
+	m.dedupHits++
+	m.mu.Unlock()
+}
+
+// simulation records one completed fresh run: its wall-clock cost and the
+// simulated cycles it covered, bucketed as ns per cycle.
+func (m *metrics) simulation(nanos uint64, cycles uint64) {
+	if cycles == 0 {
+		cycles = 1
+	}
+	perCycle := float64(nanos) / float64(cycles)
+	m.mu.Lock()
+	m.simulations++
+	m.simNanos += nanos
+	m.simCycles += cycles
+	slot := len(nsPerCycleBounds)
+	for i, le := range nsPerCycleBounds {
+		if perCycle <= le {
+			slot = i
+			break
+		}
+	}
+	m.hist[slot]++
+	m.mu.Unlock()
+}
+
+// histBucket is one /metrics histogram row; Le is nil on the overflow
+// bucket (JSON null, read it as +Inf).
+type histBucket struct {
+	Le    *float64 `json:"le"`
+	Count uint64   `json:"count"`
+}
+
+// metricsSnapshot is the /metrics response document.
+type metricsSnapshot struct {
+	Jobs struct {
+		Queued  uint64 `json:"queued"`
+		Running uint64 `json:"running"`
+		Done    uint64 `json:"done"`
+		Failed  uint64 `json:"failed"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits      uint64 `json:"hits"`
+		DedupHits uint64 `json:"dedupHits"`
+		Entries   uint64 `json:"entries"`
+	} `json:"cache"`
+	Simulations uint64       `json:"simulations"`
+	SimNanos    uint64       `json:"simNanos"`
+	SimCycles   uint64       `json:"simCycles"`
+	NsPerCycle  []histBucket `json:"nsPerCycle"`
+}
+
+// snapshot captures a consistent view; queued is derived (submitted jobs
+// neither finished nor currently simulating).
+func (m *metrics) snapshot(cacheEntries int) metricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s metricsSnapshot
+	finished := m.done + m.failed
+	s.Jobs.Queued = m.submitted - finished - m.running
+	s.Jobs.Running = m.running
+	s.Jobs.Done = m.done
+	s.Jobs.Failed = m.failed
+	s.Cache.Hits = m.cacheHits
+	s.Cache.DedupHits = m.dedupHits
+	s.Cache.Entries = uint64(cacheEntries)
+	s.Simulations = m.simulations
+	s.SimNanos = m.simNanos
+	s.SimCycles = m.simCycles
+	s.NsPerCycle = make([]histBucket, len(m.hist))
+	for i, n := range m.hist {
+		b := histBucket{Count: n}
+		if i < len(nsPerCycleBounds) {
+			le := nsPerCycleBounds[i]
+			b.Le = &le
+		}
+		s.NsPerCycle[i] = b
+	}
+	return s
+}

@@ -1,0 +1,557 @@
+// Package serve implements sweep-as-a-service: a long-running HTTP/JSON
+// server that accepts sweep submissions in the public Grid/Axes
+// vocabulary, expands them into jobs on one shared bounded worker pool,
+// and answers through a content-addressed result cache.
+//
+// The cache is sound because simulations are deterministic: a grid point
+// is fully described by (Options, workload name, parameters), so its
+// gsi.CacheKey content address maps to exactly one correct serialized
+// Report, and a cached response is byte-identical to a fresh run.
+// Identical grid points from overlapping client sweeps therefore become
+// cache hits instead of re-simulations, and concurrent duplicates share
+// one in-flight run via singleflight. See docs/ARCHITECTURE.md, "Sweep
+// serving and the result cache".
+//
+// Endpoints:
+//
+//	POST /sweeps            submit a sweep (Submission document); 202 + job keys
+//	GET  /sweeps            list sweeps
+//	GET  /sweeps/{id}       sweep status (+ ?wait=1 to block until finished)
+//	GET  /sweeps/{id}/events  per-job progress as Server-Sent Events
+//	GET  /results/{key}     cached Report bytes by content address
+//	GET  /metrics           jobs queued/running/done, cache hits, ns-per-cycle histogram
+//	GET  /healthz           liveness (reports draining state)
+//	GET  /debug/pprof/      live profiles (internal/prof)
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gsi"
+	"gsi/internal/prof"
+	"gsi/internal/sweep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds the shared simulation pool: at most this many
+	// simulations run at once across all submissions (anything below 1
+	// selects GOMAXPROCS, as in SweepConfig.Parallel).
+	Workers int
+	// Engine selects the scheduling loop every job runs under. Results
+	// are byte-identical across modes, so this is a wall-clock knob; the
+	// cache key canonicalizes it away.
+	Engine gsi.EngineMode
+	// CacheDir, when non-empty, persists the result cache: entries found
+	// there are loaded at startup and new entries are written back by
+	// Drain (or FlushCache).
+	CacheDir string
+}
+
+// Server is the sweep service. Create with New, mount Handler on an
+// http.Server, and Drain on shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	sem     chan struct{}
+	cache   *resultCache
+	flight  flightGroup
+	metrics *metrics
+
+	mu       sync.Mutex
+	draining bool
+	sweeps   map[string]*sweepRun
+	order    []string
+	nextID   int
+
+	jobs sync.WaitGroup
+}
+
+// New builds a Server, loading any persisted cache entries.
+func New(cfg Config) (*Server, error) {
+	cache, err := newResultCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, sweep.Workers(cfg.Workers)),
+		cache:   cache,
+		metrics: newMetrics(),
+		sweeps:  map[string]*sweepRun{},
+	}
+	s.mux.HandleFunc("/sweeps", s.handleSweeps)
+	s.mux.HandleFunc("/sweeps/", s.handleSweep)
+	s.mux.HandleFunc("/results/", s.handleResult)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	prof.Routes(s.mux)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain stops the server accepting new sweep submissions (they are
+// refused with 503); jobs already submitted keep running.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// WaitJobs blocks until every submitted job has finished.
+func (s *Server) WaitJobs() { s.jobs.Wait() }
+
+// FlushCache persists cache entries not yet on disk (no-op without a
+// cache directory).
+func (s *Server) FlushCache() error { return s.cache.flush() }
+
+// Drain is the graceful-shutdown sequence: stop accepting, let running
+// jobs finish, flush the cache. The caller then shuts the http.Server
+// down so streaming responses complete.
+func (s *Server) Drain() error {
+	s.BeginDrain()
+	s.WaitJobs()
+	return s.FlushCache()
+}
+
+// Submission is the POST /sweeps request body: a cartesian grid in the
+// public Grid/Axes vocabulary. Workloads is required (registry names);
+// an empty axis contributes its default point exactly as gsi.Grid does.
+// Params are registry parameter overrides applied to every point.
+type Submission struct {
+	Name         string            `json:"name"`
+	Workloads    []string          `json:"workloads"`
+	Protocols    []string          `json:"protocols,omitempty"`
+	MSHRSizes    []int             `json:"mshrSizes,omitempty"`
+	LocalMems    []string          `json:"localMems,omitempty"`
+	SFIFO        []bool            `json:"sfifo,omitempty"`
+	OwnedAtomics []bool            `json:"ownedAtomics,omitempty"`
+	StrongCycle  []bool            `json:"strongCycle,omitempty"`
+	Params       map[string]string `json:"params,omitempty"`
+}
+
+// grid expands the submission into the equivalent gsi.Grid.
+func (sub Submission) grid(mode gsi.EngineMode) (gsi.Grid, error) {
+	if len(sub.Workloads) == 0 {
+		return gsi.Grid{}, fmt.Errorf("serve: submission needs at least one workload")
+	}
+	reg := gsi.Workloads()
+	for _, name := range sub.Workloads {
+		if _, ok := reg.Lookup(name); !ok {
+			return gsi.Grid{}, fmt.Errorf("serve: unknown workload %q", name)
+		}
+	}
+	g := gsi.Grid{
+		Name:         sub.Name,
+		Workloads:    sub.Workloads,
+		MSHRSizes:    sub.MSHRSizes,
+		SFIFO:        sub.SFIFO,
+		OwnedAtomics: sub.OwnedAtomics,
+		StrongCycle:  sub.StrongCycle,
+		Params:       gsi.WorkloadValues(sub.Params),
+		System:       gsi.SystemConfig{Engine: mode},
+	}
+	for _, p := range sub.Protocols {
+		proto, err := gsi.ParseProtocol(p)
+		if err != nil {
+			return gsi.Grid{}, err
+		}
+		g.Protocols = append(g.Protocols, proto)
+	}
+	for _, lm := range sub.LocalMems {
+		kind, err := gsi.ParseLocalMem(lm)
+		if err != nil {
+			return gsi.Grid{}, err
+		}
+		g.LocalMems = append(g.LocalMems, kind)
+	}
+	return g, nil
+}
+
+// jobState is one grid point of a submitted sweep. Immutable fields are
+// set at submission; status/errMsg are guarded by the sweepRun mutex.
+type jobState struct {
+	index   int
+	label   string
+	key     string
+	options gsi.Options
+	thunk   func() gsi.Workload
+
+	status string // "queued", "running", "done", "failed"
+	errMsg string
+	cached bool
+}
+
+// progressEvent is one job-completion event, the serve counterpart of
+// gsi.SweepProgress (plus the cache disposition), streamed on
+// /sweeps/{id}/events and replayed to late subscribers.
+type progressEvent struct {
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Index  int    `json:"index"`
+	Label  string `json:"label"`
+	Err    string `json:"err,omitempty"`
+	Cached bool   `json:"cached"`
+}
+
+// sweepRun is the server-side state of one submission.
+type sweepRun struct {
+	id   string
+	name string
+
+	mu       sync.Mutex
+	jobs     []jobState
+	done     int
+	failed   int
+	events   []progressEvent
+	subs     map[chan progressEvent]bool
+	finished chan struct{}
+}
+
+// subscribe registers an events channel, returning the events already
+// emitted (for replay) and whether the sweep is already finished. The
+// channel is buffered for every remaining event, so senders never block.
+func (sw *sweepRun) subscribe() (replay []progressEvent, ch chan progressEvent, finished bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	replay = append(replay, sw.events...)
+	if sw.done == len(sw.jobs) {
+		return replay, nil, true
+	}
+	ch = make(chan progressEvent, len(sw.jobs)-sw.done)
+	sw.subs[ch] = true
+	return replay, ch, false
+}
+
+// unsubscribe removes a subscriber (client went away before the end).
+func (sw *sweepRun) unsubscribe(ch chan progressEvent) {
+	sw.mu.Lock()
+	delete(sw.subs, ch)
+	sw.mu.Unlock()
+}
+
+// setRunning marks a job as actively processing.
+func (sw *sweepRun) setRunning(i int) {
+	sw.mu.Lock()
+	sw.jobs[i].status = "running"
+	sw.mu.Unlock()
+}
+
+// complete records one job's outcome, emits its progress event, and on
+// the last job closes finished and the subscriber channels.
+func (sw *sweepRun) complete(i int, errMsg string, cached bool) {
+	sw.mu.Lock()
+	job := &sw.jobs[i]
+	job.errMsg = errMsg
+	job.cached = cached
+	job.status = "done"
+	if errMsg != "" {
+		job.status = "failed"
+		sw.failed++
+	}
+	sw.done++
+	ev := progressEvent{Done: sw.done, Total: len(sw.jobs), Index: i,
+		Label: job.label, Err: errMsg, Cached: cached}
+	sw.events = append(sw.events, ev)
+	last := sw.done == len(sw.jobs)
+	for ch := range sw.subs {
+		ch <- ev // buffered for every remaining event; never blocks
+		if last {
+			close(ch)
+		}
+	}
+	if last {
+		sw.subs = map[chan progressEvent]bool{}
+		close(sw.finished)
+	}
+	sw.mu.Unlock()
+}
+
+// sweepDoc is the JSON view of a sweep's status.
+type sweepDoc struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	Total    int      `json:"total"`
+	Done     int      `json:"done"`
+	Failed   int      `json:"failed"`
+	Finished bool     `json:"finished"`
+	Jobs     []jobDoc `json:"jobs,omitempty"`
+}
+
+// jobDoc is the JSON view of one job. Result is the job's content
+// address; fetch the Report bytes from /results/{result}.
+type jobDoc struct {
+	Index  int    `json:"index"`
+	Label  string `json:"label"`
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	Err    string `json:"err,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// doc snapshots the sweep, with per-job detail when jobs is true.
+func (sw *sweepRun) doc(jobs bool) sweepDoc {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	d := sweepDoc{ID: sw.id, Name: sw.name, Total: len(sw.jobs),
+		Done: sw.done, Failed: sw.failed, Finished: sw.done == len(sw.jobs)}
+	if !jobs {
+		return d
+	}
+	d.Jobs = make([]jobDoc, len(sw.jobs))
+	for i, j := range sw.jobs {
+		d.Jobs[i] = jobDoc{Index: j.index, Label: j.label, Key: j.key,
+			Status: j.status, Err: j.errMsg, Cached: j.cached}
+	}
+	return d
+}
+
+// handleSweeps serves POST /sweeps (submit) and GET /sweeps (list).
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.mu.Lock()
+		docs := make([]sweepDoc, 0, len(s.order))
+		for _, id := range s.order {
+			docs = append(docs, s.sweeps[id].doc(false))
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, docs)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// submit expands a Submission into jobs, registers the sweep, and kicks
+// every job onto the shared pool. Jobs whose key is already cached (or
+// already in flight) complete without a fresh simulation.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var sub Submission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		http.Error(w, fmt.Sprintf("bad submission: %v", err), http.StatusBadRequest)
+		return
+	}
+	grid, err := sub.grid(s.cfg.Engine)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	batch := grid.Sweep()
+	sw := &sweepRun{
+		name:     grid.Name,
+		jobs:     make([]jobState, len(batch.Jobs)),
+		subs:     map[chan progressEvent]bool{},
+		finished: make(chan struct{}),
+	}
+	for i, job := range batch.Jobs {
+		sw.jobs[i] = jobState{
+			index:   i,
+			label:   job.Label,
+			key:     gsi.CacheKey(job.Options, job.Axes.Workload, grid.PointParams(job.Axes)),
+			options: job.Options,
+			thunk:   job.Workload,
+			status:  "queued",
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, "draining: not accepting new sweeps", http.StatusServiceUnavailable)
+		return
+	}
+	s.nextID++
+	sw.id = fmt.Sprintf("s%d", s.nextID)
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	// Register the jobs with the drain group while still holding the
+	// lock: BeginDrain flips draining under the same lock, so every
+	// accepted job is Added before WaitJobs can observe the group.
+	s.jobs.Add(len(sw.jobs))
+	s.mu.Unlock()
+
+	s.metrics.enqueue(len(sw.jobs))
+	for i := range sw.jobs {
+		go s.runJob(sw, i)
+	}
+	writeJSON(w, http.StatusAccepted, sw.doc(true))
+}
+
+// runJob resolves one job: cache hit, shared in-flight run, or a fresh
+// simulation on the bounded pool.
+func (s *Server) runJob(sw *sweepRun, i int) {
+	defer s.jobs.Done()
+	job := &sw.jobs[i]
+	if _, ok := s.cache.get(job.key); ok {
+		s.metrics.cacheHit()
+		s.metrics.jobDone(false)
+		sw.complete(i, "", true)
+		return
+	}
+	sw.setRunning(i)
+	_, err, shared := s.flight.Do(job.key, func() ([]byte, error) {
+		// The slot gates the simulation itself; singleflight followers
+		// wait without occupying the pool.
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		if data, ok := s.cache.get(job.key); ok {
+			// A previous leader finished between our cache check and
+			// flight entry; serve its bytes.
+			return data, nil
+		}
+		s.metrics.runStart()
+		defer s.metrics.runEnd()
+		start := time.Now()
+		rep, err := gsi.Run(job.options, job.thunk())
+		if err != nil {
+			return nil, err
+		}
+		doc, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(job.key, doc)
+		s.metrics.simulation(uint64(time.Since(start).Nanoseconds()), rep.Cycles)
+		return doc, nil
+	})
+	cached := false
+	if shared && err == nil {
+		s.metrics.dedupHit()
+		cached = true
+	}
+	var errMsg string
+	if err != nil {
+		errMsg = err.Error()
+	}
+	s.metrics.jobDone(err != nil)
+	sw.complete(i, errMsg, cached)
+}
+
+// handleSweep serves GET /sweeps/{id} (status, ?wait=1 blocks until the
+// sweep finishes) and GET /sweeps/{id}/events (SSE progress stream).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/sweeps/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("no sweep %q", id), http.StatusNotFound)
+		return
+	}
+	switch sub {
+	case "":
+		if r.URL.Query().Get("wait") != "" {
+			select {
+			case <-sw.finished:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, sw.doc(true))
+	case "events":
+		s.streamEvents(w, r, sw)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+// streamEvents writes the sweep's progress as Server-Sent Events: every
+// already-emitted event is replayed, live events follow, and the stream
+// ends when the sweep finishes.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sw *sweepRun) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	send := func(ev progressEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+		flusher.Flush()
+		return true
+	}
+	replay, ch, finished := sw.subscribe()
+	for _, ev := range replay {
+		if !send(ev) {
+			return
+		}
+	}
+	if !finished {
+		defer sw.unsubscribe(ch)
+		for {
+			select {
+			case ev, open := <-ch:
+				if !open {
+					goto done
+				}
+				if !send(ev) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+done:
+	fmt.Fprintf(w, "event: done\ndata: {}\n\n")
+	flusher.Flush()
+}
+
+// handleResult serves GET /results/{key}: the exact cached Report bytes.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/results/")
+	data, ok := s.cache.get(key)
+	if !ok {
+		http.Error(w, "no cached result for key", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleMetrics serves GET /metrics as an indented JSON document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.size()))
+}
+
+// handleHealth serves GET /healthz; the body reports the drain state.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true, "draining": draining})
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,46 @@
+package serve
+
+import "sync"
+
+// flightCall is one in-flight simulation that concurrent requesters of
+// the same cache key share.
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// flightGroup is a minimal singleflight: Do collapses concurrent calls
+// with the same key onto one execution of fn, so overlapping sweep
+// submissions never simulate the same grid point twice at the same time.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// Do runs fn once per key at a time. The first caller (the leader)
+// executes fn; callers arriving while it runs wait and receive the same
+// result with shared=true.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

@@ -162,20 +162,20 @@ func (h Handle) Wake() {
 // part of any Report's JSON (all engine modes produce identical Reports).
 type EngineStats struct {
 	// Steps is the number of cycles actually executed (tick passes).
-	Steps uint64
+	Steps uint64 `json:"steps"`
 	// Jumps is the number of skip-ahead jumps taken.
-	Jumps uint64
+	Jumps uint64 `json:"jumps"`
 	// SkippedCycles is the total width of all jumped windows: simulated
 	// cycles that were accounted without a tick pass.
-	SkippedCycles uint64
+	SkippedCycles uint64 `json:"skippedCycles"`
 	// ExpressDeliveries counts mesh messages whose whole traversal was
 	// modeled as one timed event (express routing), and ExpressDemotions
 	// counts express flits materialized back into the per-hop pipeline
 	// by potentially contending traffic. The engine itself does not
 	// produce these; the GPU run loop copies them from the mesh so one
 	// stats block describes the run's whole event-density picture.
-	ExpressDeliveries uint64
-	ExpressDemotions  uint64
+	ExpressDeliveries uint64 `json:"expressDeliveries"`
+	ExpressDemotions  uint64 `json:"expressDemotions"`
 }
 
 // Engine drives the simulation: a single-threaded cycle loop over the

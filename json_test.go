@@ -58,6 +58,51 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEngineStatsJSONOptIn pins the EngineStats encoding decision: the
+// default document excludes the scheduling counters (the cross-engine
+// byte-identity contract), IncludeEngineStats mirrors them in under the
+// explicit "engineStats" field, and DecodeReport folds them back so the
+// opt-in round-trips exactly.
+func TestEngineStatsJSONOptIn(t *testing.T) {
+	rep, err := Run(Options{System: implicitSystem(32), Protocol: DeNovo}, NewImplicit(Scratchpad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EngineStats.Steps == 0 {
+		t.Fatal("run recorded no engine steps; the opt-in test would be vacuous")
+	}
+	plain, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "engineStats") {
+		t.Error("default encoding leaks the scheduling counters")
+	}
+	opted, err := rep.IncludeEngineStats().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(opted), `"engineStats"`) {
+		t.Error("opted-in encoding missing the engineStats field")
+	}
+	back, err := DecodeReport(opted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EngineStats != rep.EngineStats {
+		t.Errorf("EngineStats changed across the opt-in round trip:\n%+v\nvs\n%+v",
+			back.EngineStats, rep.EngineStats)
+	}
+	// A plain document must decode to zero counters, not stale ones.
+	bare, err := DecodeReport(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.EngineStats != (EngineStats{}) {
+		t.Errorf("plain document decoded non-zero EngineStats: %+v", bare.EngineStats)
+	}
+}
+
 // TestFigureSetJSONRoundTrip: a decoded figure renders byte-identically to
 // the original, so JSON documents are a faithful interchange format for
 // whole figures.

@@ -36,11 +36,20 @@ type Report struct {
 
 	// EngineStats counts the scheduling work of the run (tick passes,
 	// skip-ahead jumps, skipped cycles, express-routed mesh deliveries
-	// and demotions). Excluded from JSON: every engine mode produces
-	// identical simulation results, but their scheduling cost
+	// and demotions). Excluded from JSON by default: every engine mode
+	// produces identical simulation results, but their scheduling cost
 	// necessarily differs, and the serialized report is the
-	// byte-identity contract between them.
+	// byte-identity contract between them. Opt in explicitly with
+	// IncludeEngineStats, which mirrors the counters into Scheduling.
 	EngineStats EngineStats `json:"-"`
+
+	// Scheduling is the explicit opt-in JSON carrier for EngineStats:
+	// nil (and therefore absent) by default, set by IncludeEngineStats.
+	// DecodeReport folds a present block back into EngineStats, so the
+	// opt-in round-trips exactly. Documents carrying it are not
+	// byte-comparable across engine modes — the default encoding remains
+	// the cross-engine contract.
+	Scheduling *EngineStats `json:"engineStats,omitempty"`
 }
 
 // NetStats summarizes interconnect traffic.
@@ -196,16 +205,34 @@ func (r *Report) barName() string {
 // JSON encodes the report as an indented, machine-readable document.
 // Stall profiles appear as label-keyed maps (the figure labels), so the
 // output diffs cleanly and survives taxonomy reordering; DecodeReport
-// reverses it exactly.
+// reverses it exactly. Scheduling counters are omitted unless the report
+// opted in via IncludeEngineStats.
 func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
-// DecodeReport parses a document produced by Report.JSON.
+// IncludeEngineStats opts this report's scheduling counters into its JSON
+// encoding by mirroring EngineStats into the Scheduling field; it returns
+// r for chaining (gsi-run wires it to -json -stats). Use it only when the
+// consumer wants the scheduling-cost picture: documents carrying the
+// block legitimately differ across engine modes, so they fall outside the
+// cross-engine byte-identity contract of the default encoding.
+func (r *Report) IncludeEngineStats() *Report {
+	st := r.EngineStats
+	r.Scheduling = &st
+	return r
+}
+
+// DecodeReport parses a document produced by Report.JSON, folding an
+// opted-in scheduling block (see IncludeEngineStats) back into
+// EngineStats so the opt-in round-trips exactly.
 func DecodeReport(data []byte) (*Report, error) {
 	r := new(Report)
 	if err := json.Unmarshal(data, r); err != nil {
 		return nil, fmt.Errorf("gsi: decoding report: %w", err)
+	}
+	if r.Scheduling != nil {
+		r.EngineStats = *r.Scheduling
 	}
 	return r, nil
 }

@@ -18,6 +18,10 @@ type Job struct {
 	Label    string
 	Options  Options
 	Workload func() Workload
+	// Axes records the grid point that produced this job (the zero value
+	// for hand-built jobs). Content-addressing layers combine it with
+	// Grid.PointParams to recover the registry inputs behind the factory.
+	Axes Axes
 }
 
 // Sweep is an ordered batch of independent simulations — the unit the
@@ -62,16 +66,29 @@ type SweepConfig struct {
 }
 
 // ProgressPrinter returns a Progress callback that writes one
-// "[done/total] label (ok|FAILED)" line per finished job to w — the meter
-// both CLIs print to stderr.
+// "[done/total] label (ok|FAILED: cause)" line per finished job to w — the
+// meter both CLIs print to stderr. Failure lines carry the job's error
+// (truncated to one line) so the meter says why, not just that.
 func ProgressPrinter(w io.Writer) func(SweepProgress) {
 	return func(p SweepProgress) {
 		status := "ok"
 		if p.Err != nil {
-			status = "FAILED"
+			status = "FAILED: " + truncateError(p.Err, 120)
 		}
 		fmt.Fprintf(w, "[%d/%d] %s (%s)\n", p.Done, p.Total, p.Label, status)
 	}
+}
+
+// truncateError renders an error as a single line of at most max runes,
+// marking elision with "..." — progress meters and event streams want the
+// cause without a multi-kilobyte diagnosis dump.
+func truncateError(err error, max int) string {
+	msg := strings.Join(strings.Fields(err.Error()), " ")
+	runes := []rune(msg)
+	if len(runes) <= max {
+		return msg
+	}
+	return string(runes[:max]) + "..."
 }
 
 // Run executes every job and returns all results in job order. The
@@ -156,6 +173,11 @@ type Grid struct {
 	// DefaultConfig). A non-zero Axes.MSHR overrides both MSHREntries and
 	// StoreBufEntries, the convention of the paper's figure 6.4 sweep.
 	System SystemConfig
+	// Params holds registry parameter overrides applied to every
+	// registry-built point (grids with a Workloads axis and no Workload
+	// builder). An override naming no parameter of a point's schema
+	// surfaces as that job's error. Ignored when Workload is set.
+	Params WorkloadValues
 	// Workload builds the workload for one point; required unless the
 	// Workloads axis is set.
 	Workload func(Axes) Workload
@@ -203,7 +225,7 @@ func (g Grid) Sweep() Sweep {
 							for _, sc := range bools(g.StrongCycle) {
 								ax := Axes{Workload: wn, Protocol: p, MSHR: m, LocalMem: lm,
 									SFIFO: sf, OwnedAtomics: oa, StrongCycle: sc}
-								s.Add(g.label(ax), g.options(ax), g.workloadThunk(ax))
+								s.Jobs = append(s.Jobs, g.point(ax))
 							}
 						}
 					}
@@ -214,29 +236,89 @@ func (g Grid) Sweep() Sweep {
 	return s
 }
 
+// point materializes one grid point as a Job. Failures that can only be
+// detected here — an unknown registry name, a bad parameter override, a
+// failed system tune — are deferred into the job's factory (the
+// brokenWorkload pattern) so one bad point surfaces as that job's error
+// instead of sinking or silently mis-running the batch.
+func (g Grid) point(ax Axes) Job {
+	job := Job{Label: g.label(ax), Axes: ax}
+	opt, err := g.options(ax)
+	job.Options = opt
+	if err != nil {
+		job.Workload = brokenThunk(ax.Workload, err)
+		return job
+	}
+	job.Workload = g.workloadThunk(ax)
+	return job
+}
+
+// PointParams returns the registry parameter overrides a registry-built
+// grid point is constructed (and tuned) with: the grid's Params plus,
+// when the LocalMems axis is declared, the point's local-memory
+// organization as the "local" parameter. Layers that content-address grid
+// points (the serve cache) must hash exactly these values alongside the
+// point's Options. Returns nil when the point carries no overrides.
+func (g Grid) PointParams(ax Axes) WorkloadValues {
+	if len(g.Params) == 0 && len(g.LocalMems) == 0 {
+		return nil
+	}
+	v := make(WorkloadValues, len(g.Params)+1)
+	for k, val := range g.Params {
+		v[k] = val
+	}
+	if len(g.LocalMems) > 0 {
+		// The local-memory axis is a workload parameter, not a system
+		// one: thread it into the build so distinct axis values produce
+		// distinct simulations. A workload without a "local" parameter
+		// rejects the combination as that job's error.
+		v["local"] = localMemParam(ax.LocalMem)
+	}
+	return v
+}
+
+// localMemParam names a local-memory organization in the registry's
+// "local" parameter vocabulary (see the implicit workload's schema).
+func localMemParam(lm LocalMem) string {
+	switch lm {
+	case ScratchpadDMA:
+		return "dma"
+	case Stash:
+		return "stash"
+	}
+	return "scratchpad"
+}
+
 // workloadThunk binds one grid point to its factory without capturing the
 // loop variables by reference. A grid with a workload axis but no builder
-// constructs the point's workload from the registry at default scale; an
-// unknown name surfaces as the job's error rather than a panic, so one
-// bad axis value cannot sink a whole batch.
+// constructs the point's workload from the registry at default scale with
+// the point's parameter overrides applied; an unknown name or bad
+// override surfaces as the job's error rather than a panic, so one bad
+// axis value cannot sink a whole batch.
 func (g Grid) workloadThunk(ax Axes) func() Workload {
 	if g.Workload != nil {
 		build := g.Workload
 		return func() Workload { return build(ax) }
 	}
 	name := ax.Workload
+	params := g.PointParams(ax)
 	return func() Workload {
 		e, ok := Workloads().Lookup(name)
 		if !ok {
 			return brokenWorkload{name: name,
 				err: fmt.Errorf("gsi: unknown workload %q (see Workloads().Names())", name)}
 		}
-		w, err := e.Build(nil)
+		w, err := e.Build(params)
 		if err != nil {
 			return brokenWorkload{name: name, err: err}
 		}
 		return w
 	}
+}
+
+// brokenThunk defers a point-construction error into the job's factory.
+func brokenThunk(name string, err error) func() Workload {
+	return func() Workload { return brokenWorkload{name: name, err: err} }
 }
 
 // brokenWorkload defers a construction failure to Run, where it becomes
@@ -251,9 +333,9 @@ func (b brokenWorkload) Build(*cpu.Host) (*gpu.Kernel, func(*cpu.Host) error, er
 	return nil, nil, b.err
 }
 
-func (g Grid) options(ax Axes) Options {
+func (g Grid) options(ax Axes) (Options, error) {
 	if g.Options != nil {
-		return g.Options(ax)
+		return g.Options(ax), nil
 	}
 	opt := Options{System: g.System, Protocol: ax.Protocol,
 		SFIFO: ax.SFIFO, OwnedAtomics: ax.OwnedAtomics, StrongCycle: ax.StrongCycle}
@@ -264,18 +346,23 @@ func (g Grid) options(ax Axes) Options {
 		// not pin a system: let the entry shape the default machine
 		// (e.g. implicit's and pipeline's single-SM configurations).
 		if e, ok := Workloads().Lookup(ax.Workload); ok {
-			if cfg, err := e.TuneSystem(false, nil, opt.System); err == nil {
-				mode := opt.System.Engine
-				opt.System = cfg
-				opt.System.Engine = mode
+			cfg, err := e.TuneSystem(false, g.PointParams(ax), opt.System)
+			if err != nil {
+				// Do not fall through to the untuned system: a point
+				// whose tune failed would simulate a different machine
+				// than asked for. The caller defers this into the job.
+				return opt, fmt.Errorf("gsi: tuning system for workload %q: %w", ax.Workload, err)
 			}
+			mode := opt.System.Engine
+			opt.System = cfg
+			opt.System.Engine = mode
 		}
 	}
 	if ax.MSHR > 0 {
 		opt.System.MSHREntries = ax.MSHR
 		opt.System.StoreBufEntries = ax.MSHR
 	}
-	return opt
+	return opt, nil
 }
 
 // label names a point from the axes that actually vary in this grid.

@@ -1,6 +1,7 @@
 package gsi
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -151,6 +152,107 @@ func TestGridDefaultsAndEmptyAxes(t *testing.T) {
 	}
 	if j.Options.System.NumSMs == 0 {
 		t.Error("zero System not defaulted")
+	}
+}
+
+// TestGridLocalMemAxisDistinctReports is the regression test for the
+// silently ignored LocalMems axis: a registry-built grid combining the
+// Workloads axis with LocalMems must thread each point's organization
+// into the build, so distinct axis values produce distinct simulations —
+// not identical runs under different labels.
+func TestGridLocalMemAxisDistinctReports(t *testing.T) {
+	g := Grid{
+		Name:      "localmem-axis",
+		Workloads: []string{"implicit"},
+		LocalMems: []LocalMem{Scratchpad, Stash},
+		Params:    WorkloadValues{"warps": "4", "databytes": "2048", "rounds": "1"},
+	}
+	results, err := g.Sweep().Run(SweepConfig{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	if a, b := results[0].Job.Label, results[1].Job.Label; a == b {
+		t.Errorf("labels identical: %q", a)
+	}
+	if got := results[1].Report.LocalMem; got != "stash" {
+		t.Errorf("second point ran local memory %q, want stash", got)
+	}
+	if results[0].Report.Counts == results[1].Report.Counts &&
+		results[0].Report.Cycles == results[1].Report.Cycles {
+		t.Error("distinct LocalMems axis values produced identical simulations")
+	}
+}
+
+// TestGridLocalMemAxisRejectsWorkloadWithoutLocalParam: combining the
+// LocalMems axis with a workload that has no local-memory organization
+// must fail that job with a clear error instead of silently running
+// duplicate simulations per axis value.
+func TestGridLocalMemAxisRejectsWorkloadWithoutLocalParam(t *testing.T) {
+	g := Grid{
+		Name:      "localmem-mismatch",
+		Workloads: []string{"uts"},
+		LocalMems: []LocalMem{Scratchpad, Stash},
+	}
+	_, err := g.Sweep().Run(SweepConfig{Parallel: 1})
+	if err == nil {
+		t.Fatal("uts x LocalMems grid ran without error")
+	}
+	if !strings.Contains(err.Error(), `no parameter "local"`) {
+		t.Errorf("error %q does not explain the local-parameter mismatch", err)
+	}
+}
+
+// TestGridTuneErrorSurfaces is the regression test for the swallowed
+// TuneSystem error: a point whose system tune fails must surface that as
+// the job's error rather than silently simulating the untuned machine.
+func TestGridTuneErrorSurfaces(t *testing.T) {
+	g := Grid{
+		Name:      "tune-error",
+		Workloads: []string{"implicit"}, // has a Tune hook, so resolve runs
+		Params:    WorkloadValues{"bogus": "1"},
+	}
+	results, err := g.Sweep().Run(SweepConfig{Parallel: 1})
+	if err == nil {
+		t.Fatal("grid with a bad override ran without error")
+	}
+	for _, want := range []string{"tuning system", "bogus"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if results[0].Report != nil {
+		t.Error("failed tune still produced a report")
+	}
+}
+
+// TestProgressPrinterFailureCause: FAILED lines must say why — the job's
+// error, truncated to one line.
+func TestProgressPrinterFailureCause(t *testing.T) {
+	var sb strings.Builder
+	print := ProgressPrinter(&sb)
+	print(SweepProgress{Done: 1, Total: 2, Label: "ok-job"})
+	print(SweepProgress{Done: 2, Total: 2, Label: "bad-job",
+		Err: errors.New("gsi: building x: bad\nparameter")})
+	out := sb.String()
+	if !strings.Contains(out, "[1/2] ok-job (ok)") {
+		t.Errorf("success line malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "(FAILED: gsi: building x: bad parameter)") {
+		t.Errorf("failure line does not carry the single-line cause:\n%s", out)
+	}
+
+	sb.Reset()
+	print(SweepProgress{Done: 1, Total: 1, Label: "verbose",
+		Err: errors.New(strings.Repeat("x", 500))})
+	line := sb.String()
+	if len(line) > 200 {
+		t.Errorf("failure line not truncated: %d bytes", len(line))
+	}
+	if !strings.Contains(line, "...") {
+		t.Errorf("truncated line missing elision marker:\n%s", line)
 	}
 }
 
