@@ -9,6 +9,7 @@
 package gsi
 
 import (
+	"fmt"
 	"testing"
 
 	"gsi/internal/core"
@@ -243,7 +244,7 @@ func BenchmarkInspectorObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		in.Observe(0, obs)
 		if i%64 == 0 {
-			in.LoadCompleted(core.LoadID(1), core.WhereL2)
+			in.LoadCompleted(0, core.LoadID(1), core.WhereL2)
 		}
 	}
 }
@@ -541,6 +542,43 @@ func BenchmarkGUPSThroughputQuiescent(b *testing.B) {
 
 func BenchmarkGUPSThroughputDense(b *testing.B) {
 	benchThroughput(b, DefaultConfig(), EngineDense, benchGUPS())
+}
+
+// --- parallel tick engine (1/2/4/8 workers vs the serial skip rows) ---
+
+// benchThroughputParallel measures the parallel tick engine at a fixed
+// worker count; the serial skip benchmarks above are the baseline. One
+// worker runs the full partition/commit structure through the inline
+// fallback (no pool), isolating the partition overhead from the
+// concurrency win; recorded numbers only show a speedup when the host
+// grants the pool real cores (see BENCH_engine.json's host note).
+func benchThroughputParallel(b *testing.B, sys SystemConfig, w Workload) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := sys
+			s.Parallel = workers
+			benchThroughput(b, s, EngineParallel, w)
+		})
+	}
+}
+
+// BenchmarkPipelineThroughputParallel: two SMs busy at a time — little
+// group-level concurrency to mine, the parallel engine's worst shape.
+func BenchmarkPipelineThroughputParallel(b *testing.B) {
+	benchThroughputParallel(b, PipelineSystem(), benchPipeline())
+}
+
+// BenchmarkGUPSThroughputParallel: all 15 SMs issuing random updates —
+// the widest group phase, the parallel engine's target shape.
+func BenchmarkGUPSThroughputParallel(b *testing.B) {
+	benchThroughputParallel(b, DefaultConfig(), benchGUPS())
+}
+
+// BenchmarkSpinUTSThroughputParallel: 15 contending spinners; wide
+// active set but mesh-dominated, so the serial hub prefix bounds the
+// parallel win (Amdahl on the fabric).
+func BenchmarkSpinUTSThroughputParallel(b *testing.B) {
+	benchThroughputParallel(b, DefaultConfig(), benchSpinUTS(15))
 }
 
 // BenchmarkAblationOwnedAtomics quantifies the owned-atomics suggestion of

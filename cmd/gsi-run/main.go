@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -46,8 +47,9 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit JSON reports instead of text summaries")
 		parallel = flag.Int("parallel", 0, "sweep workers (0 = all cores, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress sweep progress on stderr")
-		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip (all byte-identical)")
+		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip | parallel (all byte-identical)")
 		dense    = flag.Bool("dense", false, "shorthand for -engine dense")
+		ticks    = flag.Int("parallel-ticks", 0, "tick workers per simulation (>= 2 selects the parallel engine; 0 = serial)")
 		express  = flag.Bool("express", true, "mesh express routing: model uncontended multi-hop traversals as one timed event (always off in dense mode; timing is byte-identical either way)")
 		stats    = flag.Bool("stats", false, "print per-run engine scheduling stats (steps, jumps, express deliveries/demotions) to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -184,6 +186,7 @@ func main() {
 			}
 			sys.Engine = mode
 			sys.Express = *express
+			sys.Parallel = *ticks
 			return gsi.Options{System: sys, Protocol: ax.Protocol,
 				SFIFO: *sfifo, OwnedAtomics: *owned, Timeline: *timeline}
 		},
@@ -191,6 +194,19 @@ func main() {
 	sweep := grid.Sweep()
 
 	cfg := gsi.SweepConfig{Parallel: *parallel}
+	if *ticks > 1 {
+		// Nested-parallelism budget: each simulation already spreads its
+		// tick pass over *ticks workers, so the sweep fan-out is capped at
+		// NumCPU / ticks (at least one job) to keep the product of the two
+		// levels within the machine instead of oversubscribing it.
+		maxSweep := runtime.NumCPU() / *ticks
+		if maxSweep < 1 {
+			maxSweep = 1
+		}
+		if cfg.Parallel == 0 || cfg.Parallel > maxSweep {
+			cfg.Parallel = maxSweep
+		}
+	}
 	if !*quiet && len(sweep.Jobs) > 1 {
 		cfg.Progress = gsi.ProgressPrinter(os.Stderr)
 	}

@@ -18,6 +18,12 @@ func figureSpecsEngine(mode EngineMode) []FigureSpec {
 			o := &specs[si].Sweep.Jobs[ji].Options
 			*o = o.withDefaults()
 			o.System.Engine = mode
+			if mode == EngineParallel {
+				// Force a real worker pool even on a single-core host so
+				// the concurrent group phase and commit path are exercised,
+				// not the serial-inline fallback.
+				o.System.Parallel = 4
+			}
 		}
 	}
 	return specs
@@ -25,9 +31,9 @@ func figureSpecsEngine(mode EngineMode) []FigureSpec {
 
 // TestEnginesByteIdentical is the cross-engine determinism contract: for
 // every figure spec, the dense reference loop, the quiescence-aware loop,
-// and the event-driven skip-ahead engine must produce byte-identical
-// reports — same cycles, same stall counts, same memory statistics, same
-// JSON.
+// the event-driven skip-ahead engine, and the parallel tick engine (four
+// workers) must produce byte-identical reports — same cycles, same stall
+// counts, same memory statistics, same JSON.
 func TestEnginesByteIdentical(t *testing.T) {
 	type engineRun struct {
 		mode EngineMode
@@ -38,6 +44,7 @@ func TestEnginesByteIdentical(t *testing.T) {
 		{mode: EngineDense},
 		{mode: EngineQuiescent},
 		{mode: EngineSkip},
+		{mode: EngineParallel},
 	}
 	for _, r := range runs {
 		sets, err := RunFigureSpecs(figureSpecsEngine(r.mode), SweepConfig{})
@@ -94,6 +101,9 @@ func TestEnginesIdenticalWithTimeline(t *testing.T) {
 		opt := Options{Protocol: DeNovo, Timeline: true}
 		opt.System = DefaultConfig()
 		opt.System.Engine = mode
+		if mode == EngineParallel {
+			opt.System.Parallel = 4
+		}
 		rep, err := Run(opt, w)
 		if err != nil {
 			t.Fatal(err)
@@ -101,7 +111,7 @@ func TestEnginesIdenticalWithTimeline(t *testing.T) {
 		return rep
 	}
 	d := run(EngineDense)
-	for _, mode := range []EngineMode{EngineQuiescent, EngineSkip} {
+	for _, mode := range []EngineMode{EngineQuiescent, EngineSkip, EngineParallel} {
 		q := run(mode)
 		if q.Timeline != d.Timeline {
 			t.Errorf("%s: timelines diverge:\n--- %s ---\n%s\n--- dense ---\n%s",
@@ -146,6 +156,9 @@ func TestNextEventWorkloadPool(t *testing.T) {
 				opt.System = cfg
 				opt.System.Engine = mode
 				opt.System.Express = express
+				if mode == EngineParallel {
+					opt.System.Parallel = 4
+				}
 				rep, err := Run(opt, w)
 				if err != nil {
 					t.Fatalf("%s engine: %v", mode, err)
@@ -165,6 +178,7 @@ func TestNextEventWorkloadPool(t *testing.T) {
 				{"quiescent", EngineQuiescent, true},
 				{"skip", EngineSkip, true},
 				{"skip/no-express", EngineSkip, false},
+				{"parallel", EngineParallel, true},
 			}
 			for _, v := range variants {
 				rep := run(v.mode, v.express)

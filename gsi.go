@@ -173,15 +173,18 @@ func DefaultConfig() SystemConfig { return sim.Default() }
 type EngineMode = sim.EngineMode
 
 // Engine modes: skip-ahead (the default), quiescent (active set, no
-// jumps), and the dense reference loop.
+// jumps), the dense reference loop, and the parallel tick engine
+// (skip-ahead semantics with the tick pass spread over a worker pool;
+// select it with SystemConfig.Parallel >= 2).
 const (
 	EngineSkip      = sim.EngineSkip
 	EngineQuiescent = sim.EngineQuiescent
 	EngineDense     = sim.EngineDense
+	EngineParallel  = sim.EngineParallel
 )
 
 // ParseEngineMode parses a -engine flag value ("dense", "quiescent",
-// "skip").
+// "skip", "parallel").
 func ParseEngineMode(s string) (EngineMode, error) { return sim.ParseEngineMode(s) }
 
 // EngineStats re-exports the engine's scheduling counters (tick passes,
@@ -261,13 +264,15 @@ type Options struct {
 	SkipVerify bool
 }
 
-// withDefaults fills in the zero value, preserving an engine-mode
-// selection made on an otherwise-zero System.
+// withDefaults fills in the zero value, preserving an engine-mode (and
+// tick-worker) selection made on an otherwise-zero System.
 func (o Options) withDefaults() Options {
 	if o.System.NumSMs == 0 {
 		mode := o.System.EngineMode()
+		parallel := o.System.Parallel
 		o.System = DefaultConfig()
 		o.System.Engine = mode
+		o.System.Parallel = parallel
 	}
 	return o
 }

@@ -2,6 +2,12 @@
 // compares (section 6.1): conventional software-driven GPU coherence and
 // the DeNovo hybrid protocol with L1 ownership. Both plug into the memory
 // system through the mem.Policy interface.
+//
+// Policies are stateless value types: every method is a pure function of
+// its arguments. That makes one policy value safe to share across cores
+// ticking concurrently under the parallel engine (sim.EngineParallel) —
+// any future stateful policy must either stay per-core or synchronize
+// internally (see docs/ARCHITECTURE.md, "Parallel ticking").
 package coherence
 
 import "gsi/internal/mem"

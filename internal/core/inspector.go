@@ -57,8 +57,13 @@ func (c *Counts) Add(other *Counts) {
 // Stalls observed after completion (possible for the cycle in which the
 // response is being written back) are charged directly.
 type Inspector struct {
-	perSM   []Counts
-	pending map[LoadID]*pendingLoad
+	perSM []Counts
+	// pending is sharded per SM: load IDs are private to the issuing SM
+	// (gpu.SM.nextLoadID stripes the ID space), so every accrual and
+	// completion for a load comes from the same SM. The sharding makes the
+	// Inspector safe under the parallel tick engine, where distinct SMs
+	// record concurrently, without any locking on the hot path.
+	pending []map[LoadID]*pendingLoad
 
 	// StrongCycle selects the ablation classifier (strong priority at
 	// cycle level); see ClassifyCycleStrong.
@@ -82,10 +87,14 @@ type pendingLoad struct {
 // NewInspector returns an Inspector profiling numSMs streaming
 // multiprocessors.
 func NewInspector(numSMs int) *Inspector {
-	return &Inspector{
+	in := &Inspector{
 		perSM:   make([]Counts, numSMs),
-		pending: make(map[LoadID]*pendingLoad),
+		pending: make([]map[LoadID]*pendingLoad, numSMs),
 	}
+	for i := range in.pending {
+		in.pending[i] = make(map[LoadID]*pendingLoad)
+	}
+	return in
 }
 
 // Observe classifies one SM issue cycle from the per-warp observations and
@@ -169,10 +178,10 @@ func (in *Inspector) recordMemData(sm int, id LoadID, n uint64) {
 		c.MemData[WhereL1] += n
 		return
 	}
-	p := in.pending[id]
+	p := in.pending[sm][id]
 	if p == nil {
 		p = &pendingLoad{sm: sm, where: WhereUnknown}
-		in.pending[id] = p
+		in.pending[sm][id] = p
 	}
 	if p.done {
 		c.MemData[p.where] += n
@@ -181,15 +190,16 @@ func (in *Inspector) recordMemData(sm int, id LoadID, n uint64) {
 	p.accrued += n
 }
 
-// LoadCompleted tells the Inspector where a load was serviced. Accrued
+// LoadCompleted tells the Inspector where a load was serviced; sm is the SM
+// that issued the load (the one whose LSU observes the completion). Accrued
 // stall cycles for that load are folded into the matching bucket. The entry
 // is retained (marked done) so stalls charged to the load in the completion
 // cycle itself still resolve correctly; Flush drops retained entries.
-func (in *Inspector) LoadCompleted(id LoadID, where DataWhere) {
+func (in *Inspector) LoadCompleted(sm int, id LoadID, where DataWhere) {
 	if in.EagerAttribution || id == 0 {
 		return
 	}
-	p := in.pending[id]
+	p := in.pending[sm][id]
 	if p == nil {
 		// Load completed without ever blocking anyone: nothing to
 		// attribute, and nothing to remember.
@@ -207,11 +217,13 @@ func (in *Inspector) LoadCompleted(id LoadID, where DataWhere) {
 // have their accrued stalls charged to main memory (the conservative
 // choice), and completed-load records are dropped.
 func (in *Inspector) Flush() {
-	for id, p := range in.pending {
-		if !p.done && p.accrued > 0 {
-			in.perSM[p.sm].MemData[WhereMemory] += p.accrued
+	for _, shard := range in.pending {
+		for id, p := range shard {
+			if !p.done && p.accrued > 0 {
+				in.perSM[p.sm].MemData[WhereMemory] += p.accrued
+			}
+			delete(shard, id)
 		}
-		delete(in.pending, id)
 	}
 }
 
@@ -236,9 +248,11 @@ func (in *Inspector) Aggregate() Counts {
 // for leak checks in tests.
 func (in *Inspector) PendingLoads() int {
 	n := 0
-	for _, p := range in.pending {
-		if !p.done {
-			n++
+	for _, shard := range in.pending {
+		for _, p := range shard {
+			if !p.done {
+				n++
+			}
 		}
 	}
 	return n

@@ -17,7 +17,7 @@ func TestInspectorDeferredAttribution(t *testing.T) {
 	if in.PendingLoads() != 1 {
 		t.Fatalf("PendingLoads = %d, want 1", in.PendingLoads())
 	}
-	in.LoadCompleted(5, WhereL2)
+	in.LoadCompleted(0, 5, WhereL2)
 	if got := in.SM(0).MemData[WhereL2]; got != 3 {
 		t.Fatalf("L2 bucket = %d, want 3", got)
 	}
@@ -55,7 +55,7 @@ func TestInspectorEagerAblation(t *testing.T) {
 	in := NewInspector(1)
 	in.EagerAttribution = true
 	in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: 3}})
-	in.LoadCompleted(3, WhereL2) // ignored in eager mode
+	in.LoadCompleted(0, 3, WhereL2) // ignored in eager mode
 	if got := in.SM(0).MemData[WhereMemory]; got != 1 {
 		t.Fatalf("eager main-memory bucket = %d, want 1", got)
 	}
@@ -99,7 +99,7 @@ func TestInspectorAggregate(t *testing.T) {
 
 func TestInspectorLoadCompletedWithoutStalls(t *testing.T) {
 	in := NewInspector(1)
-	in.LoadCompleted(77, WhereL2) // never blocked anyone
+	in.LoadCompleted(0, 77, WhereL2) // never blocked anyone
 	if in.PendingLoads() != 0 {
 		t.Fatalf("completion created a pending record")
 	}
@@ -117,7 +117,7 @@ func TestInspectorConservation(t *testing.T) {
 		for _, e := range events {
 			id := LoadID(e%7) + 1
 			if e%3 == 0 {
-				in.LoadCompleted(id, DataWhere(int(e/3)%NumDataWheres))
+				in.LoadCompleted(0, id, DataWhere(int(e/3)%NumDataWheres))
 			} else {
 				in.Observe(0, []WarpObs{{Kind: MemData, PendingLoad: id}})
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Timeline records how each SM's cycle classification evolves over a run
@@ -12,6 +13,12 @@ import (
 // the current resolution (streaming downsample), so memory use is constant
 // regardless of run length.
 type Timeline struct {
+	// mu serializes recording: rescale touches every SM's buckets, so
+	// per-SM sharding is not enough when the parallel tick engine records
+	// from several workers at once. Buckets are aligned to absolute per-SM
+	// cycle index, so the final timeline is independent of the order in
+	// which concurrent recorders acquire the lock.
+	mu          sync.Mutex
 	maxBuckets  int
 	bucketWidth uint64
 	sms         []timelineSM
@@ -54,6 +61,8 @@ func (tl *Timeline) RecordSpan(sm int, kind StallKind, n uint64) {
 	if n == 0 {
 		return
 	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
 	s := &tl.sms[sm]
 	last := s.pos + n - 1
 	for last/tl.bucketWidth >= uint64(tl.maxBuckets) {

@@ -24,7 +24,6 @@ type GPU struct {
 	kernel     *Kernel
 	nextBlock  int
 	blocksDone int
-	loadSeq    uint64
 }
 
 // New builds a GPU with the given per-core coherence policies (one per
@@ -44,12 +43,6 @@ func New(cfg sim.Config, policies []mem.Policy) (*GPU, error) {
 		g.SMs[i] = newSM(i, g, sys.Cores[i])
 	}
 	return g, nil
-}
-
-// nextLoadID allocates a run-unique load identifier for GSI attribution.
-func (g *GPU) nextLoadID() core.LoadID {
-	g.loadSeq++
-	return core.LoadID(g.loadSeq)
 }
 
 // Launch installs a kernel and dispatches its first blocks (round-robin,
@@ -111,6 +104,10 @@ type smSlot struct {
 	track    bool
 	asleep   bool
 	idleFrom uint64
+	// wake re-arms the slot in the engine; the parallel engine's commit
+	// phase uses it when a deferred block handoff gives the SM new work
+	// in the same cycle its Tick reported idle.
+	wake func()
 }
 
 // Tick implements sim.Component.
@@ -148,6 +145,26 @@ func (s *smSlot) SkipAhead(from, to uint64) {
 // Diagnose implements sim.Diagnoser for engine deadlock dumps.
 func (s *smSlot) Diagnose() string { return s.sm.Diagnose() }
 
+// Commit implements sim.Committer for the parallel tick engine: called in
+// registration order after the concurrent group phase, it injects the DMA
+// engine's staged mesh sends (the order across SMs then matches the
+// serial loops' in-tick sends) and applies a deferred end-of-block
+// handoff. A handoff that lands a new block un-marks the sleep the
+// just-finished Tick recorded and re-arms the slot, so the SM resumes
+// next cycle exactly as it would had blockDone run mid-tick.
+func (s *smSlot) Commit(cycle uint64) {
+	sm := s.sm
+	sm.dma.FlushStaged(cycle)
+	if sm.blockDonePending {
+		sm.blockDonePending = false
+		sm.gpu.blockDone(sm)
+		if sm.kernel != nil {
+			s.asleep = false
+			s.wake()
+		}
+	}
+}
+
 // Run drives the launched kernel to completion and returns the cycle
 // count. Every component — mesh, memory controller, L2 banks, per-core
 // memory units, SMs — registers individually with the engine selected by
@@ -160,13 +177,23 @@ func (g *GPU) Run() (uint64, error) {
 		return 0, fmt.Errorf("gpu: no kernel launched")
 	}
 	mode := g.Cfg.EngineMode()
+	parallel := mode == sim.EngineParallel
 	eng := sim.NewEngine()
 	eng.SetMode(mode)
+	if parallel {
+		eng.SetParallel(g.Cfg.TickWorkers())
+	}
 	g.Sys.Attach(eng)
 	slots := make([]*smSlot, len(g.SMs))
 	for i, sm := range g.SMs {
+		sm.staged = parallel
+		sm.dma.SetStaged(parallel)
 		slots[i] = &smSlot{sm: sm, track: mode != sim.EngineDense}
-		eng.Register(fmt.Sprintf("sm%d", i), slots[i])
+		// SM i joins tick group i alongside its CoreMem (see
+		// mem.System.Attach): the pair shares a worker, preserving their
+		// serial intra-cycle interplay, while distinct SMs tick
+		// concurrently.
+		slots[i].wake = eng.RegisterGroup(fmt.Sprintf("sm%d", i), slots[i], i).Wake
 	}
 	cycles, err := eng.Run(g.Done, g.Cfg.MaxCycles)
 	for _, s := range slots {

@@ -242,7 +242,7 @@ func (l *LSU) acceptGlobal(op *memOp, cycle uint64) {
 			op.lines = append(op.lines, lineReq{global: ln, isStore: true})
 		}
 	} else {
-		id := l.sm.gpu.nextLoadID()
+		id := l.sm.nextLoadID()
 		w.setPendingLoad(in.Rd, id)
 		l.tracks[id] = &loadTrack{
 			warp: w, rd: in.Rd, id: id,
@@ -282,7 +282,7 @@ func (l *LSU) acceptScratch(op *memOp, addrs []uint64, cycle uint64) {
 		// front: even if the access parks on a pending DMA, dependent
 		// instructions must see the scoreboard hazard. The value is
 		// captured on replay (after the DMA has filled the pad).
-		id := l.sm.gpu.nextLoadID()
+		id := l.sm.nextLoadID()
 		w.setPendingLoad(in.Rd, id)
 		l.tracks[id] = &loadTrack{warp: w, rd: in.Rd, id: id, remaining: 1}
 		op.curLoad = id
@@ -340,7 +340,7 @@ func (l *LSU) acceptStash(op *memOp, addrs []uint64, cycle uint64) {
 		l.submit(cycle)
 		return
 	}
-	id := l.sm.gpu.nextLoadID()
+	id := l.sm.nextLoadID()
 	w.setPendingLoad(in.Rd, id)
 	tr := &loadTrack{
 		warp: w, rd: in.Rd, id: id,
@@ -487,7 +487,7 @@ func (l *LSU) lineDone(id core.LoadID, where core.DataWhere) {
 	}
 	delete(l.tracks, id)
 	tr.warp.loadArrived(tr.rd, id, tr.value)
-	l.sm.gpu.Insp.LoadCompleted(id, tr.lastWhere)
+	l.sm.gpu.Insp.LoadCompleted(l.sm.id, id, tr.lastWhere)
 }
 
 // NextEvent supports the SM's skip-ahead promise: the earliest cycle after

@@ -55,6 +55,16 @@ type SM struct {
 	// the next cycle.
 	issuedThisTick bool
 
+	// staged marks a parallel-engine run: Tick then executes concurrently
+	// with other SMs, so the end-of-block handoff — which mutates the
+	// GPU's shared block cursor — is deferred to the commit phase via
+	// blockDonePending instead of running mid-tick.
+	staged           bool
+	blockDonePending bool
+
+	// loadSeq drives this SM's load-identifier sequence (see nextLoadID).
+	loadSeq uint64
+
 	// Stats.
 	InstrsIssued uint64
 	BlocksRun    uint64
@@ -300,7 +310,15 @@ func (sm *SM) finishBlock(cycle uint64) {
 		sm.kernel = nil
 		sm.localKind = LocalNone
 		sm.block = -1
-		sm.gpu.blockDone(sm)
+		if sm.staged {
+			// The handoff advances the GPU's shared block cursor; under
+			// the parallel engine it defers to the commit phase so SMs
+			// finishing in the same cycle claim their next blocks in SM
+			// order — the order the serial loops hand them out.
+			sm.blockDonePending = true
+		} else {
+			sm.gpu.blockDone(sm)
+		}
 		return
 	}
 	if sm.lsu.Idle() && !sm.cm.Flushing() && sm.cm.SBLen() > 0 {
@@ -430,6 +448,17 @@ func (sm *SM) NextEvent(now uint64) uint64 {
 		return now + 1
 	}
 	return next
+}
+
+// nextLoadID allocates a load identifier for GSI attribution, unique
+// across the device for the whole run. IDs are striped by SM
+// (id ≡ sm.id+1 mod NumSMs) so concurrent SM ticks under the parallel
+// engine never touch a shared counter, and a given SM draws the identical
+// sequence under every engine mode. The values never surface in Reports.
+func (sm *SM) nextLoadID() core.LoadID {
+	id := sm.loadSeq*uint64(len(sm.gpu.SMs)) + uint64(sm.id) + 1
+	sm.loadSeq++
+	return core.LoadID(id)
 }
 
 // onLoadDone dispatches fill completions to their unit.

@@ -25,13 +25,15 @@ package noc
 // traffic that would not actually have delayed the flit still demotes it —
 // but never wrong, since the materialized flit's timing is exact either
 // way. The congestion-adaptive switch has a second, preventive half: while
-// the mesh holds any buffered per-hop traffic, grants are not attempted at
-// all (see the gate in tryExpress) — refusing a grant is timing-neutral,
-// and on congested phases it zeroes the express bookkeeping for traversals
-// that would only be demoted. The equivalence is enforced by
+// any region (square tile block; see Mesh.buildRegions) of a message's
+// route holds buffered per-hop traffic, a grant is not attempted (see the
+// gate in tryExpress) — refusing a grant is timing-neutral, and on
+// congested phases it zeroes the express bookkeeping for traversals that
+// would only be demoted, while disjoint routes on a moderately loaded mesh
+// keep expressing past the hot spot. The equivalence is enforced by
 // TestExpressMatchesPerHop (randomized traffic, lockstep express-on vs
 // express-off meshes) and TestExpressMaterializationEachHop in
-// express_test.go, and end-to-end by the three-way engine diff (dense mode
+// express_test.go, and end-to-end by the cross-engine diff (dense mode
 // always runs per-hop).
 
 // exFlit is one in-flight express message. It occupies no router queue;
@@ -77,6 +79,22 @@ func posOf(tile, dir int) int { return tile*numDirs + dir }
 
 // posEnd orders after every queue of a tick (the send phase between ticks).
 const posEnd = int(^uint(0) >> 1)
+
+// pathMask returns the bitmask of regions the XY route src->dst touches,
+// computing and caching it on first use (the route set is static, so each
+// pair is walked at most once per Mesh).
+func (m *Mesh) pathMask(src, dst int) uint64 {
+	key := src*m.Tiles() + dst
+	mask := m.pathMasks[key]
+	if mask == 0 {
+		m.walkPath(src, dst, func(_, tile, _ int) bool {
+			mask |= 1 << uint(m.regionOf[tile])
+			return true
+		})
+		m.pathMasks[key] = mask
+	}
+	return mask
+}
 
 // walkPath visits the XY route from src to dst: fn is called once per edge
 // with the edge index, the router holding the queue, and the output
@@ -155,16 +173,20 @@ func (m *Mesh) tryExpress(cycle uint64, src, dst int, port Port, payload any) bo
 	if !m.express || m.inTick || m.routerLat == 0 {
 		return false
 	}
-	// Congestion gate: grants are only attempted while the mesh holds no
-	// buffered per-hop traffic (in-flight express flits don't count —
-	// they occupy no queues). Refusing a grant is always timing-neutral:
-	// the message simply runs per-hop, which delivers at the identical
-	// cycle whenever express would have. On congested phases — where a
-	// granted flit would almost certainly be demoted a few cycles later —
-	// this zeroes the express bookkeeping cost (path probing, edge
-	// indexing, demotion) instead of paying it for traversals that never
-	// pan out. (InFlight already counts the message being sent.)
-	if m.Stats.InFlight-1 > m.exCount {
+	// Congestion gate, per region: grants are only attempted while every
+	// region the route touches holds no buffered per-hop traffic
+	// (in-flight express flits don't count — they occupy no queues).
+	// Refusing a grant is always timing-neutral: the message simply runs
+	// per-hop, which delivers at the identical cycle whenever express
+	// would have. On congested phases — where a granted flit would almost
+	// certainly be demoted a few cycles later — this zeroes the express
+	// bookkeeping cost (path probing, edge indexing, demotion) instead of
+	// paying it for traversals that never pan out. Unlike the old
+	// whole-mesh version of this gate, a hot corner of the mesh no longer
+	// stops disjoint routes elsewhere from expressing: the pre-filter
+	// compares the route's cached region mask against the busy-region
+	// bitmask, one AND per probe.
+	if m.regionBusy&m.pathMask(src, dst) != 0 {
 		return false
 	}
 	free := true
@@ -252,6 +274,7 @@ func (m *Mesh) demote(f *exFlit) {
 		readyAt: m.popAt(f, mk), hops: mk}
 	m.routers[mtile].out[mdir].push(mg)
 	m.routers[mtile].queued++
+	m.regionAdd(mtile)
 	m.due.add(mg.readyAt)
 }
 

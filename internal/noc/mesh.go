@@ -185,6 +185,18 @@ type Mesh struct {
 	ticked    uint64
 	hasTicked bool
 
+	// Per-region occupancy for the express grant pre-filter (see
+	// regionGateClear in express.go): tiles are coarsened into square
+	// blocks (at most 64 regions, so a region set fits one uint64 mask),
+	// regionQueued counts buffered per-hop messages per region, regionBusy
+	// mirrors it as a bitmask, and pathMasks lazily caches the region mask
+	// of each src->dst XY route (0 = not yet computed; a real mask always
+	// includes the source tile's region bit).
+	regionOf     []int
+	regionQueued []int
+	regionBusy   uint64
+	pathMasks    []uint64
+
 	// Stats counts traffic for network reporting.
 	Stats Stats
 }
@@ -209,7 +221,7 @@ func New(w, h, linkLat, routerLat int, handler Handler) *Mesh {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("noc: invalid mesh %dx%d", w, h))
 	}
-	return &Mesh{
+	m := &Mesh{
 		w: w, h: h,
 		linkLat:   uint64(linkLat),
 		routerLat: uint64(routerLat),
@@ -218,6 +230,48 @@ func New(w, h, linkLat, routerLat int, handler Handler) *Mesh {
 		due:       newDueTracker(),
 		exEdges:   make([]exEdge, w*h*numDirs),
 		exLocal:   make([]*exFlit, w*h),
+		pathMasks: make([]uint64, w*h*w*h),
+	}
+	m.buildRegions()
+	return m
+}
+
+// buildRegions partitions the mesh into square tile blocks for the express
+// occupancy pre-filter. Blocks start at 2x2 and double in side length until
+// at most 64 regions remain, so any mesh's region set fits one uint64.
+func (m *Mesh) buildRegions() {
+	bs := 2
+	for ((m.w+bs-1)/bs)*((m.h+bs-1)/bs) > 64 {
+		bs *= 2
+	}
+	rw := (m.w + bs - 1) / bs
+	m.regionOf = make([]int, m.w*m.h)
+	nRegions := 0
+	for t := range m.regionOf {
+		r := (t/m.w/bs)*rw + (t % m.w / bs)
+		m.regionOf[t] = r
+		if r+1 > nRegions {
+			nRegions = r + 1
+		}
+	}
+	m.regionQueued = make([]int, nRegions)
+}
+
+// regionAdd records one per-hop message buffered at tile's router.
+func (m *Mesh) regionAdd(tile int) {
+	r := m.regionOf[tile]
+	m.regionQueued[r]++
+	if m.regionQueued[r] == 1 {
+		m.regionBusy |= 1 << uint(r)
+	}
+}
+
+// regionSub records one per-hop message leaving tile's router.
+func (m *Mesh) regionSub(tile int) {
+	r := m.regionOf[tile]
+	m.regionQueued[r]--
+	if m.regionQueued[r] == 0 {
+		m.regionBusy &^= 1 << uint(r)
 	}
 }
 
@@ -283,6 +337,7 @@ func (m *Mesh) route(tile int, mg *msg) {
 	}
 	m.routers[tile].out[dir].push(mg)
 	m.routers[tile].queued++
+	m.regionAdd(tile)
 	m.due.add(mg.readyAt)
 }
 
@@ -327,6 +382,7 @@ func (m *Mesh) Tick(cycle uint64) bool {
 				continue
 			}
 			r.queued--
+			m.regionSub(i)
 			m.due.remove(mg.readyAt)
 			mg.hops++
 			mg.readyAt = cycle + m.linkLat + m.routerLat
@@ -339,6 +395,7 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			m.deliverExpress(f, cycle, i)
 		} else if mg := r.out[dirLocal].popReady(cycle); mg != nil {
 			r.queued--
+			m.regionSub(i)
 			m.due.remove(mg.readyAt)
 			m.Stats.Messages++
 			m.Stats.Hops += uint64(mg.hops)

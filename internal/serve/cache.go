@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,18 +16,53 @@ import (
 // without copying. The cache lives in memory; when a directory is
 // configured, entries already on disk are loaded at construction and new
 // entries are written out by flush (the drain path).
+//
+// The in-memory set is bounded: maxEntries and maxBytes (0 = unlimited)
+// cap it with LRU eviction — get and put refresh an entry's recency, and
+// put evicts from the cold end until both limits hold. Evicting is always
+// sound (a future request for the key re-simulates and recomputes the
+// identical bytes); an evicted entry that was never flushed to a
+// configured cache directory is written out on eviction, best effort, so
+// bounding memory does not silently discard persistence.
 type resultCache struct {
-	dir string
+	dir        string
+	maxEntries int
+	maxBytes   int
 
 	mu      sync.Mutex
-	entries map[string][]byte
+	entries map[string]*list.Element
+	lru     list.List // front = most recent; values are *cacheEntry
+	bytes   int
 	dirty   map[string]bool
+	evicted uint64
+}
+
+// cacheEntry is one LRU node's payload.
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// cacheStats is the cache's observability snapshot for /metrics.
+type cacheStats struct {
+	entries   int
+	bytes     int
+	evictions uint64
 }
 
 // newResultCache builds the cache, loading any persisted entries from
-// dir (which is created if missing). An empty dir disables persistence.
-func newResultCache(dir string) (*resultCache, error) {
-	c := &resultCache{dir: dir, entries: map[string][]byte{}, dirty: map[string]bool{}}
+// dir (which is created if missing). An empty dir disables persistence;
+// maxEntries/maxBytes of 0 disable the corresponding bound. Loaded
+// entries count against the bounds (oldest names evict first — disk
+// files are kept, only the in-memory copy is dropped).
+func newResultCache(dir string, maxEntries, maxBytes int) (*resultCache, error) {
+	c := &resultCache{
+		dir:        dir,
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    map[string]*list.Element{},
+		dirty:      map[string]bool{},
+	}
 	if dir == "" {
 		return c, nil
 	}
@@ -43,30 +79,74 @@ func newResultCache(dir string) (*resultCache, error) {
 			return nil, fmt.Errorf("serve: loading cache entry: %w", err)
 		}
 		key := strings.TrimSuffix(filepath.Base(name), ".json")
-		c.entries[key] = data
+		c.insert(key, data)
+		c.evict()
 	}
 	return c, nil
 }
 
-// get returns the stored bytes for key.
+// get returns the stored bytes for key, refreshing its recency.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	data, ok := c.entries[key]
-	return data, ok
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
 }
 
 // put stores the bytes for key; a pre-existing entry wins (it is
 // necessarily identical, and keeping it makes put idempotent under the
-// rare leader/raced-completion overlap).
+// rare leader/raced-completion overlap). Over-limit cold entries are
+// evicted afterwards.
 func (c *resultCache) put(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = data
+	c.insert(key, data)
 	c.dirty[key] = true
+	c.evict()
+}
+
+// insert adds a fresh entry at the hot end. Caller holds mu (or owns the
+// cache exclusively, during construction).
+func (c *resultCache) insert(key string, data []byte) {
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += len(data)
+}
+
+// evict drops cold entries until both bounds hold. A dirty entry (never
+// flushed to a configured cache directory) is written out first, best
+// effort — failing that it is dropped anyway, since the bound is the
+// contract. Caller holds mu (or owns the cache exclusively).
+func (c *resultCache) evict() {
+	over := func() bool {
+		if c.maxEntries > 0 && len(c.entries) > c.maxEntries {
+			return true
+		}
+		return c.maxBytes > 0 && c.bytes > c.maxBytes
+	}
+	for over() {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		if c.dirty[e.key] && c.dir != "" {
+			path := filepath.Join(c.dir, e.key+".json")
+			_ = os.WriteFile(path, e.data, 0o644)
+		}
+		delete(c.dirty, e.key)
+		delete(c.entries, e.key)
+		c.lru.Remove(el)
+		c.bytes -= len(e.data)
+		c.evicted++
+	}
 }
 
 // size returns the number of cached results.
@@ -74,6 +154,14 @@ func (c *resultCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// stats snapshots the cache's entry count, byte footprint, and lifetime
+// eviction count for /metrics.
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{entries: len(c.entries), bytes: c.bytes, evictions: c.evicted}
 }
 
 // flush writes entries not yet persisted to the cache directory; without
@@ -88,7 +176,7 @@ func (c *resultCache) flush() error {
 	}
 	for key := range c.dirty {
 		path := filepath.Join(c.dir, key+".json")
-		if err := os.WriteFile(path, c.entries[key], 0o644); err != nil {
+		if err := os.WriteFile(path, c.entries[key].Value.(*cacheEntry).data, 0o644); err != nil {
 			return fmt.Errorf("serve: flushing cache entry: %w", err)
 		}
 		delete(c.dirty, key)

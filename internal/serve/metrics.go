@@ -1,6 +1,11 @@
 package serve
 
-import "sync"
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
 
 // nsPerCycleBounds are the upper bounds (inclusive, in nanoseconds of
 // wall clock per simulated GPU cycle) of the throughput histogram's
@@ -29,7 +34,8 @@ type metrics struct {
 	simNanos  uint64 // total wall-clock nanoseconds across simulations
 	simCycles uint64 // total simulated cycles across simulations
 
-	hist []uint64 // ns-per-cycle histogram; last slot is overflow
+	hist    []uint64 // ns-per-cycle histogram; last slot is overflow
+	histSum float64  // sum of observed ns-per-cycle values (Prometheus _sum)
 }
 
 func newMetrics() *metrics {
@@ -95,6 +101,7 @@ func (m *metrics) simulation(nanos uint64, cycles uint64) {
 		}
 	}
 	m.hist[slot]++
+	m.histSum += perCycle
 	m.mu.Unlock()
 }
 
@@ -117,16 +124,20 @@ type metricsSnapshot struct {
 		Hits      uint64 `json:"hits"`
 		DedupHits uint64 `json:"dedupHits"`
 		Entries   uint64 `json:"entries"`
+		Bytes     uint64 `json:"bytes"`
+		Evictions uint64 `json:"evictions"`
 	} `json:"cache"`
 	Simulations uint64       `json:"simulations"`
 	SimNanos    uint64       `json:"simNanos"`
 	SimCycles   uint64       `json:"simCycles"`
 	NsPerCycle  []histBucket `json:"nsPerCycle"`
+
+	histSum float64 // carried for the Prometheus rendering, not in JSON
 }
 
 // snapshot captures a consistent view; queued is derived (submitted jobs
 // neither finished nor currently simulating).
-func (m *metrics) snapshot(cacheEntries int) metricsSnapshot {
+func (m *metrics) snapshot(cs cacheStats) metricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var s metricsSnapshot
@@ -137,10 +148,13 @@ func (m *metrics) snapshot(cacheEntries int) metricsSnapshot {
 	s.Jobs.Failed = m.failed
 	s.Cache.Hits = m.cacheHits
 	s.Cache.DedupHits = m.dedupHits
-	s.Cache.Entries = uint64(cacheEntries)
+	s.Cache.Entries = uint64(cs.entries)
+	s.Cache.Bytes = uint64(cs.bytes)
+	s.Cache.Evictions = cs.evictions
 	s.Simulations = m.simulations
 	s.SimNanos = m.simNanos
 	s.SimCycles = m.simCycles
+	s.histSum = m.histSum
 	s.NsPerCycle = make([]histBucket, len(m.hist))
 	for i, n := range m.hist {
 		b := histBucket{Count: n}
@@ -151,4 +165,43 @@ func (m *metrics) snapshot(cacheEntries int) metricsSnapshot {
 		s.NsPerCycle[i] = b
 	}
 	return s
+}
+
+// prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): gauges for instantaneous values, counters for
+// monotone totals, and the ns-per-cycle histogram in the standard
+// cumulative-bucket form with le labels and the +Inf terminator.
+func (s metricsSnapshot) prometheus(w io.Writer) {
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("gsi_jobs_queued", "Jobs accepted but neither finished nor simulating.", s.Jobs.Queued)
+	gauge("gsi_jobs_running", "Simulations holding a pool slot right now.", s.Jobs.Running)
+	counter("gsi_jobs_done_total", "Jobs finished successfully.", s.Jobs.Done)
+	counter("gsi_jobs_failed_total", "Jobs finished with an error.", s.Jobs.Failed)
+	counter("gsi_cache_hits_total", "Jobs served from the result cache.", s.Cache.Hits)
+	counter("gsi_cache_dedup_hits_total", "Jobs that shared another job's in-flight run.", s.Cache.DedupHits)
+	gauge("gsi_cache_entries", "Results currently cached in memory.", s.Cache.Entries)
+	gauge("gsi_cache_bytes", "Bytes of cached result documents in memory.", s.Cache.Bytes)
+	counter("gsi_cache_evictions_total", "Cache entries evicted by the LRU bounds.", s.Cache.Evictions)
+	counter("gsi_simulations_total", "Fresh simulations completed.", s.Simulations)
+	counter("gsi_sim_nanoseconds_total", "Wall-clock nanoseconds across fresh simulations.", s.SimNanos)
+	counter("gsi_sim_cycles_total", "Simulated cycles across fresh simulations.", s.SimCycles)
+
+	name := "gsi_sim_ns_per_cycle"
+	fmt.Fprintf(w, "# HELP %s Wall-clock nanoseconds per simulated cycle.\n# TYPE %s histogram\n", name, name)
+	var cum uint64
+	for _, b := range s.NsPerCycle {
+		cum += b.Count
+		le := "+Inf"
+		if b.Le != nil {
+			le = strconv.FormatFloat(*b.Le, 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(s.histSum, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }

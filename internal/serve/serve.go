@@ -19,7 +19,8 @@
 //	GET  /sweeps/{id}       sweep status (+ ?wait=1 to block until finished)
 //	GET  /sweeps/{id}/events  per-job progress as Server-Sent Events
 //	GET  /results/{key}     cached Report bytes by content address
-//	GET  /metrics           jobs queued/running/done, cache hits, ns-per-cycle histogram
+//	GET  /metrics           jobs queued/running/done, cache hits/bytes/evictions, ns-per-cycle histogram
+//	                        (?format=prometheus for the text exposition format)
 //	GET  /healthz           liveness (reports draining state)
 //	GET  /debug/pprof/      live profiles (internal/prof)
 package serve
@@ -28,6 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -47,10 +49,21 @@ type Config struct {
 	// are byte-identical across modes, so this is a wall-clock knob; the
 	// cache key canonicalizes it away.
 	Engine gsi.EngineMode
+	// Parallel, when >= 2, runs every simulation under the parallel tick
+	// engine with that many tick workers (also a pure wall-clock knob —
+	// the cache key canonicalizes it away). The pool size then shrinks to
+	// keep Workers x Parallel within the machine; see New.
+	Parallel int
 	// CacheDir, when non-empty, persists the result cache: entries found
 	// there are loaded at startup and new entries are written back by
 	// Drain (or FlushCache).
 	CacheDir string
+	// CacheMaxEntries and CacheMaxBytes bound the in-memory result cache
+	// with LRU eviction (0 = unlimited). Eviction is sound — a future
+	// request re-simulates to the identical bytes — and evicted entries
+	// not yet flushed to CacheDir are written out on the way.
+	CacheMaxEntries int
+	CacheMaxBytes   int
 }
 
 // Server is the sweep service. Create with New, mount Handler on an
@@ -74,14 +87,26 @@ type Server struct {
 
 // New builds a Server, loading any persisted cache entries.
 func New(cfg Config) (*Server, error) {
-	cache, err := newResultCache(cfg.CacheDir)
+	cache, err := newResultCache(cfg.CacheDir, cfg.CacheMaxEntries, cfg.CacheMaxBytes)
 	if err != nil {
 		return nil, err
+	}
+	workers := sweep.Workers(cfg.Workers)
+	if cfg.Parallel > 1 {
+		// Nested-parallelism budget: each simulation spreads its tick
+		// pass over cfg.Parallel workers, so the concurrent-simulation
+		// pool shrinks to keep the product within the machine.
+		if max := runtime.NumCPU() / cfg.Parallel; workers > max {
+			workers = max
+		}
+		if workers < 1 {
+			workers = 1
+		}
 	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, sweep.Workers(cfg.Workers)),
+		sem:     make(chan struct{}, workers),
 		cache:   cache,
 		metrics: newMetrics(),
 		sweeps:  map[string]*sweepRun{},
@@ -139,7 +164,7 @@ type Submission struct {
 }
 
 // grid expands the submission into the equivalent gsi.Grid.
-func (sub Submission) grid(mode gsi.EngineMode) (gsi.Grid, error) {
+func (sub Submission) grid(mode gsi.EngineMode, parallel int) (gsi.Grid, error) {
 	if len(sub.Workloads) == 0 {
 		return gsi.Grid{}, fmt.Errorf("serve: submission needs at least one workload")
 	}
@@ -157,7 +182,7 @@ func (sub Submission) grid(mode gsi.EngineMode) (gsi.Grid, error) {
 		OwnedAtomics: sub.OwnedAtomics,
 		StrongCycle:  sub.StrongCycle,
 		Params:       gsi.WorkloadValues(sub.Params),
-		System:       gsi.SystemConfig{Engine: mode},
+		System:       gsi.SystemConfig{Engine: mode, Parallel: parallel},
 	}
 	for _, p := range sub.Protocols {
 		proto, err := gsi.ParseProtocol(p)
@@ -341,7 +366,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad submission: %v", err), http.StatusBadRequest)
 		return
 	}
-	grid, err := sub.grid(s.cfg.Engine)
+	grid, err := sub.grid(s.cfg.Engine, s.cfg.Parallel)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -534,9 +559,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// handleMetrics serves GET /metrics as an indented JSON document.
+// handleMetrics serves GET /metrics as an indented JSON document, or in
+// the Prometheus text exposition format with ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.size()))
+	snap := s.metrics.snapshot(s.cache.stats())
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		snap.prometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleHealth serves GET /healthz; the body reports the drain state.

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Config holds every architectural parameter of the simulated system. The
 // defaults (see Default) encode Table 5.1 of the paper.
@@ -104,6 +107,14 @@ type Config struct {
 	// Engine = EngineDense.
 	DenseTicking bool
 
+	// Parallel is the intra-simulation tick worker count. A value >= 2
+	// selects the parallel tick engine (EngineParallel) with that many
+	// workers unless a serial mode is forced explicitly via Engine or
+	// DenseTicking; 0 and 1 run serially. Like the engine mode itself,
+	// the worker count is a pure wall-clock knob — results are
+	// byte-identical for every value.
+	Parallel int
+
 	// Express enables mesh express routing (Default sets it): a message
 	// whose whole route is uncontended is modeled as one timed delivery
 	// event at now + hops*(link+router latency) instead of per-hop queue
@@ -117,12 +128,37 @@ type Config struct {
 }
 
 // EngineMode resolves the scheduling loop, honoring the legacy
-// DenseTicking switch.
+// DenseTicking switch and the Parallel worker count: an explicit serial
+// mode (dense or quiescent) always wins; otherwise Parallel >= 2 — or
+// Engine set to EngineParallel directly — selects the parallel tick
+// engine, and the default skip engine runs everything else.
 func (c Config) EngineMode() EngineMode {
 	if c.DenseTicking {
 		return EngineDense
 	}
-	return c.Engine
+	switch c.Engine {
+	case EngineDense, EngineQuiescent:
+		return c.Engine
+	}
+	if c.Parallel >= 2 || c.Engine == EngineParallel {
+		return EngineParallel
+	}
+	return EngineSkip
+}
+
+// TickWorkers resolves the parallel engine's worker count: Parallel when
+// given, otherwise (engine forced parallel without a count) every core.
+// An explicit Parallel of 1 keeps the parallel pass structure but runs
+// the group phase inline — the partition-overhead baseline. Serial modes
+// always report 1.
+func (c Config) TickWorkers() int {
+	if c.EngineMode() != EngineParallel {
+		return 1
+	}
+	if c.Parallel >= 1 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Default returns the Table 5.1 configuration: 1 CPU + 15 SMs on a 4x4 mesh
@@ -197,6 +233,7 @@ func (c Config) Validate() error {
 		{c.ScratchSize > 0 && c.ScratchBanks > 0, "scratchpad geometry must be positive"},
 		{c.NumSMs+1 <= tiles, "mesh must have a tile per core (SMs + 1 CPU)"},
 		{c.MaxCycles > 0, "MaxCycles must be positive"},
+		{c.Parallel >= 0, "Parallel must be >= 0"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {

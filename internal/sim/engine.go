@@ -4,7 +4,7 @@
 // or map iteration order ever influences timing, so a given configuration
 // always produces the identical result.
 //
-// The engine runs in one of three modes that all produce byte-identical
+// The engine runs in one of four modes that all produce byte-identical
 // results and differ only in per-cycle cost:
 //
 //   - EngineDense ticks every component every cycle — the reference loop.
@@ -19,6 +19,11 @@
 //     jumps the clock straight to the earliest event instead of ticking
 //     through the gap. Components implementing Skipper are told about the
 //     jumped window so they can account the skipped cycles in bulk.
+//   - EngineParallel (see parallel.go) is the skip engine with a
+//     concurrent tick pass: components registered into tick groups run on
+//     a bounded worker pool between a serial hub phase and a
+//     deterministic registration-order commit phase, so Wake/Send side
+//     effects land exactly where the serial loops put them.
 //
 // docs/ARCHITECTURE.md is the component author's guide to these
 // contracts — the idle-tick no-op rule, Wake re-arming, the NextEvent
@@ -30,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Component is one simulated unit. Tick is called at most once per cycle, in
@@ -105,6 +111,12 @@ const (
 	// EngineDense ticks every component every cycle — the reference loop
 	// for cross-engine diff tests and scheduler-bug isolation.
 	EngineDense
+	// EngineParallel is the skip engine with a concurrent tick pass:
+	// grouped components (see RegisterGroup) tick on a bounded worker
+	// pool between a serial hub phase and a deterministic commit phase
+	// (see Committer), then skip-ahead planning runs unchanged. Results
+	// are byte-identical to the serial modes for any worker count.
+	EngineParallel
 )
 
 // String names the mode as accepted by the CLIs' -engine flag.
@@ -116,6 +128,8 @@ func (m EngineMode) String() string {
 		return "quiescent"
 	case EngineDense:
 		return "dense"
+	case EngineParallel:
+		return "parallel"
 	}
 	return fmt.Sprintf("EngineMode(%d)", uint8(m))
 }
@@ -129,8 +143,10 @@ func ParseEngineMode(s string) (EngineMode, error) {
 		return EngineQuiescent, nil
 	case "dense":
 		return EngineDense, nil
+	case "parallel":
+		return EngineParallel, nil
 	}
-	return EngineSkip, fmt.Errorf("sim: unknown engine mode %q (want dense, quiescent, or skip)", s)
+	return EngineSkip, fmt.Errorf("sim: unknown engine mode %q (want dense, quiescent, skip, or parallel)", s)
 }
 
 // Handle re-arms a registered component. Waking is idempotent and may happen
@@ -149,6 +165,13 @@ type Handle struct {
 // as it would under a dense loop.
 func (h Handle) Wake() {
 	e := h.e
+	if e.inParallel {
+		// A wake landing during the parallel group phase routes through
+		// the group-aware path: applied directly for a same-group forward
+		// wake, buffered to the post-barrier merge otherwise.
+		e.parallelWake(h.id)
+		return
+	}
 	if e.planning {
 		e.wokeDuringPlan = true
 	}
@@ -212,6 +235,25 @@ type Engine struct {
 	// plans only mean ticked-through cycles, never different results.
 	planBackoff, planFails uint32
 
+	// Parallel mode state (see parallel.go). The hub prefix [0, hubLen)
+	// holds the ungrouped components of the serial phase; compGroup maps
+	// a component to its tick group (-1 for hub) and memberIdx to its
+	// slot within the group. committers caches the Committer assertion
+	// per component like nexters/skippers.
+	workers      int
+	hubLen       int
+	compGroup    []int
+	memberIdx    []int
+	committers   []Committer
+	groups       [][]int
+	groupCursor  []int
+	groupDelta   []int
+	activeGroups []int
+	inParallel   bool
+	wakeMu       sync.Mutex
+	stagedWakes  []int
+	pool         *tickPool
+
 	stats EngineStats
 }
 
@@ -242,17 +284,11 @@ func (e *Engine) Stats() EngineStats { return e.stats }
 // handle. Registration order defines evaluation order within a cycle;
 // callers register producers before consumers (NoC before caches before
 // cores) so messages sent in cycle N are visible no earlier than N+1.
-// Components start active and are guaranteed at least one tick.
+// Components start active and are guaranteed at least one tick. A
+// component registered this way is a hub component: under the parallel
+// engine it ticks in the serial phase (see RegisterGroup).
 func (e *Engine) Register(name string, c Component) Handle {
-	e.comps = append(e.comps, c)
-	e.names = append(e.names, name)
-	e.active = append(e.active, true)
-	e.activeCount++
-	ne, _ := c.(NextEventer)
-	e.nexters = append(e.nexters, ne)
-	sk, _ := c.(Skipper)
-	e.skippers = append(e.skippers, sk)
-	return Handle{e: e, id: len(e.comps) - 1}
+	return e.register(name, c, -1)
 }
 
 // Cycle returns the current cycle (the number of completed cycles).
@@ -285,6 +321,8 @@ var ErrStalled = errors.New("sim: all components idle before completion")
 // still held work instead of leaving a timeout opaque.
 func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
+	e.startPool()
+	defer e.stopPool()
 	e.skipLimit = NoEvent
 	if maxCycles < NoEvent-start {
 		// Jumping past the watchdog would report a different cycle count
@@ -312,23 +350,27 @@ func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 // all waiting on known future events advances the clock straight to the
 // earliest one.
 func (e *Engine) Step() {
-	dense := e.mode == EngineDense
-	for i, c := range e.comps {
-		if !dense && !e.active[i] {
-			continue
-		}
-		if e.active[i] {
-			e.active[i] = false
-			e.activeCount--
-		}
-		if c.Tick(e.cycle) && !e.active[i] {
-			e.active[i] = true
-			e.activeCount++
+	if e.mode == EngineParallel {
+		e.stepParallel()
+	} else {
+		dense := e.mode == EngineDense
+		for i, c := range e.comps {
+			if !dense && !e.active[i] {
+				continue
+			}
+			if e.active[i] {
+				e.active[i] = false
+				e.activeCount--
+			}
+			if c.Tick(e.cycle) && !e.active[i] {
+				e.active[i] = true
+				e.activeCount++
+			}
 		}
 	}
 	e.cycle++
 	e.stats.Steps++
-	if e.mode == EngineSkip && e.activeCount > 0 {
+	if (e.mode == EngineSkip || e.mode == EngineParallel) && e.activeCount > 0 {
 		if e.planBackoff > 0 {
 			e.planBackoff--
 		} else if e.trySkip() {

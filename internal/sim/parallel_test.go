@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// emitComp is the synthetic component of the parallel-engine tests: busy
+// for n ticks, and each tick it emits one "name@cycle" event into the
+// shared ledger. In staged mode (the parallel component contract) the
+// event is buffered during Tick and flushed by Commit; in serial mode it
+// is appended directly mid-tick. The ledger therefore records the exact
+// effect order each engine produces, and the commit-order property is
+// that the two match byte for byte.
+type emitComp struct {
+	name   string
+	staged bool
+	led    *[]string
+	buf    []string
+	n      int
+	count  int
+}
+
+func (c *emitComp) Tick(cycle uint64) bool {
+	ev := fmt.Sprintf("%s@%d", c.name, cycle)
+	if c.staged {
+		c.buf = append(c.buf, ev)
+	} else {
+		*c.led = append(*c.led, ev)
+	}
+	c.count++
+	return c.count < c.n
+}
+
+func (c *emitComp) Commit(cycle uint64) {
+	*c.led = append(*c.led, c.buf...)
+	c.buf = c.buf[:0]
+}
+
+// runEmitNetwork builds hub + grouped emitters from the lifetime script
+// and runs them to quiescence, returning the ledger. groups[g][m] is the
+// busy-tick count of member m of group g; hubs likewise for the serial
+// prefix. workers 0 runs the skip engine; >= 1 the parallel engine with
+// that many workers (grouped components staged).
+func runEmitNetwork(t *testing.T, hubs []int, groups [][]int, workers int) []string {
+	t.Helper()
+	eng := NewEngine()
+	parallel := workers >= 1
+	if parallel {
+		eng.SetMode(EngineParallel)
+		eng.SetParallel(workers)
+	}
+	var led []string
+	busy := 0
+	for i, n := range hubs {
+		c := &emitComp{name: fmt.Sprintf("hub%d", i), led: &led, n: n}
+		eng.Register(c.name, c)
+		if n > busy {
+			busy = n
+		}
+	}
+	comps := []*emitComp{}
+	for g, members := range groups {
+		for m, n := range members {
+			c := &emitComp{name: fmt.Sprintf("g%dm%d", g, m), led: &led, n: n, staged: parallel}
+			eng.RegisterGroup(c.name, c, g)
+			comps = append(comps, c)
+			if n > busy {
+				busy = n
+			}
+		}
+	}
+	done := func() bool {
+		for _, c := range comps {
+			if c.count < c.n {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := eng.Run(done, uint64(busy)+8); err != nil {
+		t.Fatal(err)
+	}
+	return led
+}
+
+// TestParallelCommitOrderMatchesSerial is the commit-order property test:
+// over randomized component networks (group shapes and lifetimes drawn
+// from a seeded source), the parallel engine's ledger — hub events
+// mid-tick, grouped events staged and flushed by the registration-order
+// commit phase — must equal the serial skip engine's mid-tick effect
+// order exactly, for every worker count including the inline fallback.
+func TestParallelCommitOrderMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		hubs := make([]int, 1+rng.Intn(3))
+		for i := range hubs {
+			hubs[i] = 1 + rng.Intn(20)
+		}
+		groups := make([][]int, 1+rng.Intn(6))
+		for g := range groups {
+			groups[g] = make([]int, 1+rng.Intn(3))
+			for m := range groups[g] {
+				groups[g][m] = 1 + rng.Intn(20)
+			}
+		}
+		ref := runEmitNetwork(t, hubs, groups, 0)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := runEmitNetwork(t, hubs, groups, workers)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("seed %d workers %d: ledger diverges from serial\n got: %v\nwant: %v",
+					seed, workers, got, ref)
+			}
+		}
+	}
+}
+
+// wakeComp records its own tick cycles and runs scripted actions: onTick
+// during its tick (any mode), onCommit in the commit phase under the
+// parallel engine and at the end of its own tick under serial engines —
+// the two points a staged side effect is applied at in each world.
+type wakeComp struct {
+	ticks    []uint64
+	n        int
+	count    int
+	onTick   func(cycle uint64)
+	onCommit func(cycle uint64)
+	serial   bool
+}
+
+func (c *wakeComp) Tick(cycle uint64) bool {
+	c.ticks = append(c.ticks, cycle)
+	if c.onTick != nil {
+		c.onTick(cycle)
+	}
+	if c.serial && c.onCommit != nil {
+		c.onCommit(cycle)
+	}
+	c.count++
+	return c.count < c.n
+}
+
+func (c *wakeComp) Commit(cycle uint64) {
+	if !c.serial && c.onCommit != nil {
+		c.onCommit(cycle)
+	}
+}
+
+// TestParallelWakeSemantics pins the two wake paths the parallel
+// component contract allows against their serial-engine timing:
+//
+//   - a same-group forward wake during a tick lands the same cycle (the
+//     target's slot has not passed on the owning worker);
+//   - a cross-group wake staged to the commit phase lands the next cycle,
+//     exactly like a serial mid-tick wake of an already-passed slot.
+func TestParallelWakeSemantics(t *testing.T) {
+	build := func(workers int) (b, d *wakeComp, run func()) {
+		eng := NewEngine()
+		serial := workers == 0
+		if !serial {
+			eng.SetMode(EngineParallel)
+			eng.SetParallel(workers)
+		}
+		var bH, dH Handle
+		a := &wakeComp{n: 10, serial: serial, onTick: func(c uint64) {
+			if c == 5 {
+				bH.Wake() // same-group forward: b ticks this cycle
+			}
+		}}
+		b = &wakeComp{n: 1, serial: serial}
+		d = &wakeComp{n: 1, serial: serial}
+		cc := &wakeComp{n: 10, serial: serial, onCommit: func(c uint64) {
+			if c == 7 {
+				dH.Wake() // cross-group, staged: d ticks next cycle
+			}
+		}}
+		eng.RegisterGroup("a", a, 0)
+		bH = eng.RegisterGroup("b", b, 0)
+		dH = eng.RegisterGroup("d", d, 0)
+		eng.RegisterGroup("c", cc, 1)
+		return b, d, func() {
+			if _, err := eng.Run(func() bool { return a.count >= 10 && cc.count >= 10 }, 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, workers := range []int{0, 1, 4} {
+		b, d, run := build(workers)
+		run()
+		if want := []uint64{0, 5}; !reflect.DeepEqual(b.ticks, want) {
+			t.Errorf("workers %d: same-group forward wake: b ticked at %v, want %v", workers, b.ticks, want)
+		}
+		if want := []uint64{0, 8}; !reflect.DeepEqual(d.ticks, want) {
+			t.Errorf("workers %d: staged cross-group wake: d ticked at %v, want %v", workers, d.ticks, want)
+		}
+	}
+}
+
+// TestRegisterHubAfterGroupPanics enforces the hub-prefix rule: the
+// parallel pass ticks ungrouped components serially before the group
+// phase, which is only the serial order if they form a registration
+// prefix.
+func TestRegisterHubAfterGroupPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.RegisterGroup("g", TickFunc(func(uint64) bool { return false }), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hub registration after a grouped component did not panic")
+		}
+	}()
+	eng.Register("late-hub", TickFunc(func(uint64) bool { return false }))
+}
+
+// TestParallelConfigResolution covers the Config plumbing: Parallel >= 2
+// selects the parallel engine unless dense/quiescent is forced, and
+// TickWorkers reports the pool size only in parallel mode.
+func TestParallelConfigResolution(t *testing.T) {
+	cfg := Default()
+	cfg.Parallel = 4
+	if got := cfg.EngineMode(); got != EngineParallel {
+		t.Errorf("Parallel=4 resolves to %v, want parallel", got)
+	}
+	if got := cfg.TickWorkers(); got != 4 {
+		t.Errorf("TickWorkers = %d, want 4", got)
+	}
+	cfg.Engine = EngineDense
+	if got := cfg.EngineMode(); got != EngineDense {
+		t.Errorf("explicit dense with Parallel=4 resolves to %v, want dense", got)
+	}
+	if got := cfg.TickWorkers(); got != 1 {
+		t.Errorf("dense TickWorkers = %d, want 1", got)
+	}
+	cfg = Default()
+	if got := cfg.TickWorkers(); got != 1 {
+		t.Errorf("serial TickWorkers = %d, want 1", got)
+	}
+	cfg.Parallel = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Parallel validated")
+	}
+	mode, err := ParseEngineMode("parallel")
+	if err != nil || mode != EngineParallel {
+		t.Errorf("ParseEngineMode(parallel) = %v, %v", mode, err)
+	}
+	if got := EngineParallel.String(); got != "parallel" {
+		t.Errorf("EngineParallel.String() = %q", got)
+	}
+}

@@ -24,10 +24,11 @@ import (
 //
 //   - defaults are materialized (a zero System hashes like an explicit
 //     DefaultConfig),
-//   - the scheduling knobs — Engine, DenseTicking, Express — are reset to
-//     their defaults, because every engine mode produces byte-identical
-//     results (the cross-engine contract enforced by engine_diff_test.go);
-//     they change wall-clock cost, never the Report.
+//   - the scheduling knobs — Engine, DenseTicking, Express, Parallel —
+//     are reset to their defaults, because every engine mode produces
+//     byte-identical results (the cross-engine contract enforced by
+//     engine_diff_test.go, which includes the parallel tick engine at any
+//     worker count); they change wall-clock cost, never the Report.
 //
 // Every other field stays significant. In particular MaxCycles (a tighter
 // watchdog can fail a run that a looser one completes), Timeline (it adds
@@ -38,6 +39,7 @@ func CanonicalOptions(opt Options) Options {
 	opt.System.Engine = EngineSkip
 	opt.System.DenseTicking = false
 	opt.System.Express = true
+	opt.System.Parallel = 0
 	return opt
 }
 
