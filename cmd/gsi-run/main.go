@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"gsi"
 	"gsi/internal/prof"
@@ -54,6 +57,8 @@ func main() {
 		stats    = flag.Bool("stats", false, "print per-run engine scheduling stats (steps, jumps, express deliveries/demotions) to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		runLimit = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation; on expiry running jobs are canceled and completed results still print (0 = none)")
+		jobLimit = flag.Duration("job-timeout", 0, "wall-clock deadline per simulation; a slower job fails with a deadline error carrying the engine diagnosis (0 = none)")
 	)
 	flag.Parse()
 	if *list {
@@ -210,7 +215,18 @@ func main() {
 	if !*quiet && len(sweep.Jobs) > 1 {
 		cfg.Progress = gsi.ProgressPrinter(os.Stderr)
 	}
-	results, err := sweep.Run(cfg)
+	cfg.JobTimeout = *jobLimit
+	// Ctrl-C (or -timeout expiry) cancels the remaining jobs
+	// cooperatively; completed results survive into the partial-results
+	// path below instead of being lost with the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *runLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runLimit)
+		defer cancel()
+	}
+	results, err := sweep.RunContext(ctx, cfg)
 	sweepMode := len(results) > 1
 	emit := func(rs []gsi.SweepResult) {
 		if *stats {

@@ -16,11 +16,17 @@
 //	  "mshrSizes": [32, 64]
 //	}'
 //	curl 'localhost:8080/sweeps/s1?wait=1'
+//	curl -X DELETE localhost:8080/sweeps/s1
 //	curl localhost:8080/metrics
 //
-// On SIGINT/SIGTERM the server drains gracefully: new submissions are
-// refused with 503, running jobs finish, the cache is flushed to
-// -cache-dir, and only then does the listener shut down.
+// Failures stay inside their grid point: a panicking or deadline-blown
+// job fails individually (surfaced on /sweeps/{id} and the SSE stream)
+// while its siblings complete, completed results are journaled to
+// -cache-dir as they finish (a kill -9 loses at most in-flight work),
+// and on SIGINT/SIGTERM the server drains gracefully: new submissions
+// are refused with 503 (and /readyz flips), running jobs get
+// -drain-grace to finish before being canceled cooperatively, the cache
+// is flushed, and only then does the listener shut down.
 package main
 
 import (
@@ -35,24 +41,37 @@ import (
 	"time"
 
 	"gsi"
+	"gsi/internal/faultinject"
 	"gsi/internal/serve"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		parallel = flag.Int("parallel", 0, "simulation pool size shared across submissions (0 = all cores)")
-		ticks    = flag.Int("parallel-ticks", 0, "tick workers per simulation (>= 2 selects the parallel engine; the pool shrinks to fit)")
-		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip | parallel (results are byte-identical; this is a wall-clock knob)")
-		cacheDir = flag.String("cache-dir", "", "persist the result cache in this directory (loaded at startup, flushed on drain)")
-		maxEnt   = flag.Int("cache-max-entries", 0, "bound the in-memory result cache to this many entries, LRU-evicted (0 = unlimited)")
-		maxBytes = flag.Int("cache-max-bytes", 0, "bound the in-memory result cache to this many bytes of result documents, LRU-evicted (0 = unlimited)")
-		timeout  = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for the HTTP listener to close after jobs drain")
+		addr       = flag.String("addr", ":8080", "listen address")
+		parallel   = flag.Int("parallel", 0, "simulation pool size shared across submissions (0 = all cores)")
+		ticks      = flag.Int("parallel-ticks", 0, "tick workers per simulation (>= 2 selects the parallel engine; the pool shrinks to fit)")
+		engine     = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip | parallel (results are byte-identical; this is a wall-clock knob)")
+		cacheDir   = flag.String("cache-dir", "", "persist the result cache in this directory (journaled as results complete, flushed on drain)")
+		maxEnt     = flag.Int("cache-max-entries", 0, "bound the in-memory result cache to this many entries, LRU-evicted (0 = unlimited)")
+		maxBytes   = flag.Int("cache-max-bytes", 0, "bound the in-memory result cache to this many bytes of result documents, LRU-evicted (0 = unlimited)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default wall-clock deadline per job; a slower simulation fails with a deadline error carrying the engine diagnosis (0 = none)")
+		jobTimeMax = flag.Duration("job-timeout-max", 30*time.Minute, "cap on the per-job deadline, including per-submission overrides (0 = no cap)")
+		retries    = flag.Int("retries", 0, "retry budget per job for transient failures — contained panics and I/O errors (0 = default of 2, negative = disabled)")
+		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long a drain lets running jobs finish before canceling them cooperatively (0 = wait forever)")
+		timeout    = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for the HTTP listener to close after jobs drain")
+		chaos      = flag.String("chaos", "", "fault-injection spec for testing, e.g. 'seed=1,panic=0.1' or 'uts:stall' (do not use in production)")
 	)
 	flag.Parse()
 	mode, err := gsi.ParseEngineMode(*engine)
 	if err != nil {
 		fail("%v", err)
+	}
+	var injector *faultinject.Injector
+	if *chaos != "" {
+		if injector, err = faultinject.Parse(*chaos); err != nil {
+			fail("%v", err)
+		}
+		log.Printf("gsi-serve: CHAOS MODE: injecting faults per %q", *chaos)
 	}
 	server, err := serve.New(serve.Config{
 		Workers:         *parallel,
@@ -61,11 +80,25 @@ func main() {
 		CacheDir:        *cacheDir,
 		CacheMaxEntries: *maxEnt,
 		CacheMaxBytes:   *maxBytes,
+		JobTimeout:      *jobTimeout,
+		MaxJobTimeout:   *jobTimeMax,
+		Retries:         *retries,
+		Chaos:           injector,
 	})
 	if err != nil {
 		fail("%v", err)
 	}
-	hs := &http.Server{Addr: *addr, Handler: server.Handler()}
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: server.Handler(),
+		// Slow-client bounds. Long-lived responses (SSE, ?wait=1 long
+		// polls) lift the write deadline per handler; everything else is
+		// cut off rather than pinning a connection forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -79,8 +112,14 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately
-	log.Printf("gsi-serve: draining (refusing new sweeps, finishing running jobs)")
-	if err := server.Drain(); err != nil {
+	log.Printf("gsi-serve: draining (refusing new sweeps, grace %v for running jobs)", *drainGrace)
+	graceCtx := context.Background()
+	if *drainGrace > 0 {
+		var cancel context.CancelFunc
+		graceCtx, cancel = context.WithTimeout(graceCtx, *drainGrace)
+		defer cancel()
+	}
+	if err := server.DrainContext(graceCtx); err != nil {
 		log.Printf("gsi-serve: cache flush: %v", err)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)

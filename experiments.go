@@ -1,6 +1,7 @@
 package gsi
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -183,9 +184,19 @@ func (sp FigureSpec) Run(cfg SweepConfig) (*FigureSet, error) {
 }
 
 // RunFigureSpecs concatenates every spec's jobs into one batch, runs it
-// through the worker pool, and rebuilds one FigureSet per spec. Results
-// are identical to running each spec serially, for any parallelism.
+// through the worker pool, and rebuilds one FigureSet per spec:
+// RunFigureSpecsContext under context.Background().
 func RunFigureSpecs(specs []FigureSpec, cfg SweepConfig) ([]*FigureSet, error) {
+	return RunFigureSpecsContext(context.Background(), specs, cfg)
+}
+
+// RunFigureSpecsContext concatenates every spec's jobs into one batch,
+// runs it through the worker pool under ctx, and rebuilds one FigureSet
+// per spec. Results are identical to running each spec serially, for any
+// parallelism; cancellation and per-job deadlines behave as in
+// Sweep.RunContext, and any job failure (including cancellation) fails
+// the whole figure batch.
+func RunFigureSpecsContext(ctx context.Context, specs []FigureSpec, cfg SweepConfig) ([]*FigureSet, error) {
 	var all Sweep
 	all.Name = "figures"
 	for _, sp := range specs {
@@ -199,7 +210,7 @@ func RunFigureSpecs(specs []FigureSpec, cfg SweepConfig) ([]*FigureSet, error) {
 			all.Jobs = append(all.Jobs, j)
 		}
 	}
-	results, err := all.Run(cfg)
+	results, err := all.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

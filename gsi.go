@@ -191,6 +191,28 @@ func ParseEngineMode(s string) (EngineMode, error) { return sim.ParseEngineMode(
 // skip-ahead jumps, skipped cycles), reported per run on Report.
 type EngineStats = sim.EngineStats
 
+// Typed simulation-failure sentinels, re-exported from the engine for
+// errors.Is checks on Run/RunContext (and per-job Sweep) errors. Callers
+// use them to separate terminal failures (a deadlocked workload will
+// deadlock again) from transient ones worth retrying.
+var (
+	// ErrMaxCycles marks the in-sim watchdog: the cycle limit was reached
+	// before the workload completed. The error string carries the engine's
+	// per-component diagnosis dump.
+	ErrMaxCycles = sim.ErrMaxCycles
+	// ErrStalled marks a fully quiesced but unfinished simulation — no
+	// tick can ever change anything again. Carries the diagnosis dump.
+	ErrStalled = sim.ErrStalled
+	// ErrDeadline marks an expired wall-clock deadline on the RunContext
+	// context. Carries the diagnosis dump, so a deadline on a wedged
+	// simulation still says which unit held work.
+	ErrDeadline = sim.ErrDeadline
+	// ErrCanceled marks a cooperative stop: the RunContext context was
+	// canceled (job deletion, shutdown). No diagnosis is attached — the
+	// caller asked for the stop.
+	ErrCanceled = sim.ErrCanceled
+)
+
 // Mapping re-exports the scratchpad/stash window descriptor for custom
 // kernels.
 type Mapping = scratchpad.Mapping

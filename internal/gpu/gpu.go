@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"gsi/internal/core"
@@ -165,14 +166,22 @@ func (s *smSlot) Commit(cycle uint64) {
 	}
 }
 
-// Run drives the launched kernel to completion and returns the cycle
-// count. Every component — mesh, memory controller, L2 banks, per-core
-// memory units, SMs — registers individually with the engine selected by
-// Cfg.EngineMode (skip-ahead by default), in the same order the dense
-// compound Tick evaluates them, so all modes produce byte-identical
-// results. It resolves GSI's deferred attribution before returning and
-// records the engine's scheduling counters in EngineStats.
-func (g *GPU) Run() (uint64, error) {
+// Run drives the launched kernel to completion with no external
+// cancellation: RunContext under context.Background().
+func (g *GPU) Run() (uint64, error) { return g.RunContext(context.Background()) }
+
+// RunContext drives the launched kernel to completion and returns the
+// cycle count. Every component — mesh, memory controller, L2 banks,
+// per-core memory units, SMs — registers individually with the engine
+// selected by Cfg.EngineMode (skip-ahead by default), in the same order
+// the dense compound Tick evaluates them, so all modes produce
+// byte-identical results. It resolves GSI's deferred attribution before
+// returning and records the engine's scheduling counters in EngineStats.
+//
+// ctx cancellation is cooperative and checked only between cycles (see
+// sim.Engine.RunContext): a canceled run returns sim.ErrCanceled, an
+// expired deadline sim.ErrDeadline with the engine diagnosis attached.
+func (g *GPU) RunContext(ctx context.Context) (uint64, error) {
 	if g.kernel == nil {
 		return 0, fmt.Errorf("gpu: no kernel launched")
 	}
@@ -195,7 +204,7 @@ func (g *GPU) Run() (uint64, error) {
 		// concurrently.
 		slots[i].wake = eng.RegisterGroup(fmt.Sprintf("sm%d", i), slots[i], i).Wake
 	}
-	cycles, err := eng.Run(g.Done, g.Cfg.MaxCycles)
+	cycles, err := eng.RunContext(ctx, g.Done, g.Cfg.MaxCycles)
 	for _, s := range slots {
 		s.creditIdle(eng.Cycle(), g.Insp)
 	}

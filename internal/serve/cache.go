@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bufio"
 	"container/list"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,6 +18,14 @@ import (
 // without copying. The cache lives in memory; when a directory is
 // configured, entries already on disk are loaded at construction and new
 // entries are written out by flush (the drain path).
+//
+// Persistence is crash-safe through a write-behind journal: every put
+// appends the entry to <dir>/journal.jsonl and fsyncs before returning,
+// so a kill -9 loses at most the simulations that were still in flight.
+// At construction the journal is replayed (a torn final record — the
+// crash interrupted the append — is tolerated and dropped) and compacted
+// into the per-key *.json files; flush does the same compaction on the
+// drain path.
 //
 // The in-memory set is bounded: maxEntries and maxBytes (0 = unlimited)
 // cap it with LRU eviction — get and put refresh an entry's recency, and
@@ -35,6 +45,16 @@ type resultCache struct {
 	bytes   int
 	dirty   map[string]bool
 	evicted uint64
+
+	journal     *os.File // open append handle; nil without a cache dir
+	replayed    int      // entries recovered from the journal at boot
+	journalErrs uint64   // failed journal appends (entry stays dirty)
+}
+
+// journalRecord is one line of journal.jsonl.
+type journalRecord struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
 }
 
 // cacheEntry is one LRU node's payload.
@@ -45,9 +65,11 @@ type cacheEntry struct {
 
 // cacheStats is the cache's observability snapshot for /metrics.
 type cacheStats struct {
-	entries   int
-	bytes     int
-	evictions uint64
+	entries     int
+	bytes       int
+	evictions   uint64
+	replayed    int
+	journalErrs uint64
 }
 
 // newResultCache builds the cache, loading any persisted entries from
@@ -82,7 +104,61 @@ func newResultCache(dir string, maxEntries, maxBytes int) (*resultCache, error) 
 		c.insert(key, data)
 		c.evict()
 	}
+	if err := c.replayJournal(); err != nil {
+		return nil, err
+	}
+	journal, err := os.OpenFile(c.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening cache journal: %w", err)
+	}
+	c.journal = journal
 	return c, nil
+}
+
+func (c *resultCache) journalPath() string {
+	return filepath.Join(c.dir, "journal.jsonl")
+}
+
+// replayJournal recovers entries a crashed process journaled but never
+// compacted, then compacts: recovered entries go to their per-key files
+// and the journal is removed. Replay stops at the first undecodable line
+// — appends are sequential, so only the final record can be torn, and a
+// torn record is an in-flight put the crash legitimately lost.
+func (c *resultCache) replayJournal() error {
+	f, err := os.Open(c.journalPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: opening cache journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			break // torn final record from the crash; drop it
+		}
+		if _, ok := c.entries[rec.Key]; ok {
+			continue // the per-key file already provided it
+		}
+		c.insert(rec.Key, []byte(rec.Data))
+		c.dirty[rec.Key] = true
+		c.replayed++
+		c.evict()
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return fmt.Errorf("serve: reading cache journal: %w", err)
+	}
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	return os.Remove(c.journalPath())
 }
 
 // get returns the stored bytes for key, refreshing its recency.
@@ -99,8 +175,11 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 
 // put stores the bytes for key; a pre-existing entry wins (it is
 // necessarily identical, and keeping it makes put idempotent under the
-// rare leader/raced-completion overlap). Over-limit cold entries are
-// evicted afterwards.
+// rare leader/raced-completion overlap). The entry is journaled to disk
+// (appended and fsynced) before put returns, so a crash after put cannot
+// lose it; a failed append leaves the entry dirty for the flush path and
+// bumps the journal-error counter. Over-limit cold entries are evicted
+// afterwards.
 func (c *resultCache) put(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -110,7 +189,24 @@ func (c *resultCache) put(key string, data []byte) {
 	}
 	c.insert(key, data)
 	c.dirty[key] = true
+	if c.journal != nil {
+		if err := c.appendJournal(key, data); err != nil {
+			c.journalErrs++
+		}
+	}
 	c.evict()
+}
+
+// appendJournal writes one durable journal record. Caller holds mu.
+func (c *resultCache) appendJournal(key string, data []byte) error {
+	line, err := json.Marshal(journalRecord{Key: key, Data: data})
+	if err != nil {
+		return err
+	}
+	if _, err := c.journal.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return c.journal.Sync()
 }
 
 // insert adds a fresh entry at the hot end. Caller holds mu (or owns the
@@ -161,15 +257,23 @@ func (c *resultCache) size() int {
 func (c *resultCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{entries: len(c.entries), bytes: c.bytes, evictions: c.evicted}
+	return cacheStats{entries: len(c.entries), bytes: c.bytes,
+		evictions: c.evicted, replayed: c.replayed, journalErrs: c.journalErrs}
 }
 
-// flush writes entries not yet persisted to the cache directory; without
-// a directory it is a no-op. Used by the drain path so a restarted server
-// starts warm.
+// flush writes entries not yet persisted to the cache directory and
+// compacts the journal (every journaled entry now lives in its per-key
+// file, so the journal restarts empty); without a directory it is a
+// no-op. Used by the drain path so a restarted server starts warm.
 func (c *resultCache) flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+// flushLocked is flush under an already-held mu (or exclusive ownership
+// during construction).
+func (c *resultCache) flushLocked() error {
 	if c.dir == "" {
 		c.dirty = map[string]bool{}
 		return nil
@@ -180,6 +284,11 @@ func (c *resultCache) flush() error {
 			return fmt.Errorf("serve: flushing cache entry: %w", err)
 		}
 		delete(c.dirty, key)
+	}
+	if c.journal != nil {
+		if err := c.journal.Truncate(0); err != nil {
+			return fmt.Errorf("serve: compacting cache journal: %w", err)
+		}
 	}
 	return nil
 }

@@ -12,32 +12,63 @@
 // one in-flight run via singleflight. See docs/ARCHITECTURE.md, "Sweep
 // serving and the result cache".
 //
+// Failure is isolated per grid point: a panicking or deadline-blown job
+// becomes a typed per-job error (streamed like any other completion) and
+// never poisons its siblings, the cache, or the process. See
+// docs/ARCHITECTURE.md, "Failure domains and recovery".
+//
 // Endpoints:
 //
-//	POST /sweeps            submit a sweep (Submission document); 202 + job keys
-//	GET  /sweeps            list sweeps
-//	GET  /sweeps/{id}       sweep status (+ ?wait=1 to block until finished)
-//	GET  /sweeps/{id}/events  per-job progress as Server-Sent Events
-//	GET  /results/{key}     cached Report bytes by content address
-//	GET  /metrics           jobs queued/running/done, cache hits/bytes/evictions, ns-per-cycle histogram
-//	                        (?format=prometheus for the text exposition format)
-//	GET  /healthz           liveness (reports draining state)
-//	GET  /debug/pprof/      live profiles (internal/prof)
+//	POST   /sweeps            submit a sweep (Submission document); 202 + job keys
+//	GET    /sweeps            list sweeps
+//	GET    /sweeps/{id}       sweep status (+ ?wait=1 to block until finished)
+//	DELETE /sweeps/{id}       cancel the sweep's unfinished jobs
+//	GET    /sweeps/{id}/events  per-job progress as Server-Sent Events
+//	GET    /results/{key}     cached Report bytes by content address
+//	GET    /metrics           jobs queued/running/done, cache hits/bytes/evictions, ns-per-cycle histogram
+//	                          (?format=prometheus for the text exposition format)
+//	GET    /healthz           liveness (reports draining state)
+//	GET    /readyz            readiness: 503 while draining; reports journal replay
+//	GET    /debug/pprof/      live profiles (internal/prof)
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
 	"gsi"
+	"gsi/internal/faultinject"
 	"gsi/internal/prof"
 	"gsi/internal/sweep"
 )
+
+// maxSubmissionBytes bounds a POST /sweeps request body; a submission is
+// a small JSON grid document, so anything past this is a client bug or
+// abuse, not a bigger sweep.
+const maxSubmissionBytes = 1 << 20
+
+// Transient-failure retry policy: a failed attempt whose error is
+// retryable (a contained panic or an I/O error — see retryable) is
+// re-run up to the configured attempt budget with exponential backoff,
+// jittered to keep a burst of failures from retrying in lockstep.
+const (
+	defaultRetries   = 2
+	retryBackoffBase = 25 * time.Millisecond
+)
+
+// errSimPanic classifies a simulation attempt that panicked and was
+// contained; the wrapped error carries the panic value and stack.
+var errSimPanic = errors.New("serve: simulation panicked")
 
 // Config parameterizes a Server.
 type Config struct {
@@ -64,6 +95,48 @@ type Config struct {
 	// not yet flushed to CacheDir are written out on the way.
 	CacheMaxEntries int
 	CacheMaxBytes   int
+	// JobTimeout is the default per-job wall-clock deadline: a simulation
+	// running longer is canceled at its next cooperative check and fails
+	// with gsi.ErrDeadline (carrying the engine diagnosis). 0 means no
+	// deadline. Submissions may override it per request, up to
+	// MaxJobTimeout.
+	JobTimeout time.Duration
+	// MaxJobTimeout caps the effective per-job deadline, including
+	// per-submission overrides (0 = no cap).
+	MaxJobTimeout time.Duration
+	// Retries is the transient-failure retry budget per job: 0 selects
+	// the default (2), negative disables retries.
+	Retries int
+	// Chaos, when non-nil, wraps every fresh simulation's workload with
+	// the fault injector — test wiring for the chaos gate, never for
+	// production serving. Injected failures are contained exactly like
+	// real ones; faulted results are never cached.
+	Chaos *faultinject.Injector
+}
+
+// retryBudget resolves Config.Retries.
+func (c Config) retryBudget() int {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
+		return defaultRetries
+	}
+	return c.Retries
+}
+
+// jobTimeout resolves the effective deadline for one submission:
+// override (when positive) beats the default, and MaxJobTimeout caps
+// the result.
+func (c Config) jobTimeout(override time.Duration) time.Duration {
+	t := c.JobTimeout
+	if override > 0 {
+		t = override
+	}
+	if c.MaxJobTimeout > 0 && (t <= 0 || t > c.MaxJobTimeout) {
+		t = c.MaxJobTimeout
+	}
+	return t
 }
 
 // Server is the sweep service. Create with New, mount Handler on an
@@ -75,6 +148,12 @@ type Server struct {
 	cache   *resultCache
 	flight  flightGroup
 	metrics *metrics
+
+	// rootCtx parents every sweep's context (and, through the flight
+	// group, every simulation); rootCancel is the hard-stop lever the
+	// forced-drain path pulls.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
 
 	mu       sync.Mutex
 	draining bool
@@ -103,19 +182,24 @@ func New(cfg Config) (*Server, error) {
 			workers = 1
 		}
 	}
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, workers),
-		cache:   cache,
-		metrics: newMetrics(),
-		sweeps:  map[string]*sweepRun{},
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		sem:        make(chan struct{}, workers),
+		cache:      cache,
+		metrics:    newMetrics(),
+		rootCtx:    rootCtx,
+		rootCancel: rootCancel,
+		sweeps:     map[string]*sweepRun{},
 	}
+	s.flight.root = rootCtx
 	s.mux.HandleFunc("/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("/sweeps/", s.handleSweep)
 	s.mux.HandleFunc("/results/", s.handleResult)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	prof.Routes(s.mux)
 	return s, nil
 }
@@ -142,8 +226,28 @@ func (s *Server) FlushCache() error { return s.cache.flush() }
 // jobs finish, flush the cache. The caller then shuts the http.Server
 // down so streaming responses complete.
 func (s *Server) Drain() error {
+	return s.DrainContext(context.Background())
+}
+
+// DrainContext is Drain with a grace bound: if ctx fires before the
+// in-flight jobs finish on their own, every running simulation is
+// canceled cooperatively (it unwinds at its next context check with
+// gsi.ErrCanceled) and the drain completes once they do. Completed
+// results are journaled as they finish, so even a forced drain loses
+// only work that was still in flight.
+func (s *Server) DrainContext(ctx context.Context) error {
 	s.BeginDrain()
-	s.WaitJobs()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.rootCancel()
+		<-done
+	}
 	return s.FlushCache()
 }
 
@@ -161,6 +265,10 @@ type Submission struct {
 	OwnedAtomics []bool            `json:"ownedAtomics,omitempty"`
 	StrongCycle  []bool            `json:"strongCycle,omitempty"`
 	Params       map[string]string `json:"params,omitempty"`
+	// Timeout overrides the server's default per-job deadline for this
+	// submission (Go duration syntax, e.g. "90s"); the server's
+	// -job-timeout-max cap still applies.
+	Timeout string `json:"timeout,omitempty"`
 }
 
 // grid expands the submission into the equivalent gsi.Grid.
@@ -209,6 +317,7 @@ type jobState struct {
 	key     string
 	options gsi.Options
 	thunk   func() gsi.Workload
+	timeout time.Duration // effective wall-clock deadline; 0 = none
 
 	status string // "queued", "running", "done", "failed"
 	errMsg string
@@ -227,15 +336,22 @@ type progressEvent struct {
 	Cached bool   `json:"cached"`
 }
 
-// sweepRun is the server-side state of one submission.
+// sweepRun is the server-side state of one submission. ctx parents every
+// job's work; cancel (DELETE /sweeps/{id}) detaches the sweep's jobs
+// from their simulations — a simulation shared with another sweep keeps
+// running for that sweep, an unshared one stops at its next cooperative
+// check.
 type sweepRun struct {
-	id   string
-	name string
+	id     string
+	name   string
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	jobs     []jobState
 	done     int
 	failed   int
+	canceled bool
 	events   []progressEvent
 	subs     map[chan progressEvent]bool
 	finished chan struct{}
@@ -308,6 +424,7 @@ type sweepDoc struct {
 	Done     int      `json:"done"`
 	Failed   int      `json:"failed"`
 	Finished bool     `json:"finished"`
+	Canceled bool     `json:"canceled,omitempty"`
 	Jobs     []jobDoc `json:"jobs,omitempty"`
 }
 
@@ -327,7 +444,8 @@ func (sw *sweepRun) doc(jobs bool) sweepDoc {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	d := sweepDoc{ID: sw.id, Name: sw.name, Total: len(sw.jobs),
-		Done: sw.done, Failed: sw.failed, Finished: sw.done == len(sw.jobs)}
+		Done: sw.done, Failed: sw.failed, Finished: sw.done == len(sw.jobs),
+		Canceled: sw.canceled}
 	if !jobs {
 		return d
 	}
@@ -361,10 +479,25 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 // every job onto the shared pool. Jobs whose key is already cached (or
 // already in flight) complete without a fresh simulation.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmissionBytes)
 	var sub Submission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		http.Error(w, fmt.Sprintf("bad submission: %v", err), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, fmt.Sprintf("bad submission: %v", err), status)
 		return
+	}
+	var override time.Duration
+	if sub.Timeout != "" {
+		d, err := time.ParseDuration(sub.Timeout)
+		if err != nil || d < 0 {
+			http.Error(w, fmt.Sprintf("bad submission timeout %q", sub.Timeout), http.StatusBadRequest)
+			return
+		}
+		override = d
 	}
 	grid, err := sub.grid(s.cfg.Engine, s.cfg.Parallel)
 	if err != nil {
@@ -372,12 +505,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	batch := grid.Sweep()
+	ctx, cancel := context.WithCancel(s.rootCtx)
 	sw := &sweepRun{
 		name:     grid.Name,
+		ctx:      ctx,
+		cancel:   cancel,
 		jobs:     make([]jobState, len(batch.Jobs)),
 		subs:     map[chan progressEvent]bool{},
 		finished: make(chan struct{}),
 	}
+	timeout := s.cfg.jobTimeout(override)
 	for i, job := range batch.Jobs {
 		sw.jobs[i] = jobState{
 			index:   i,
@@ -385,6 +522,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 			key:     gsi.CacheKey(job.Options, job.Axes.Workload, grid.PointParams(job.Axes)),
 			options: job.Options,
 			thunk:   job.Workload,
+			timeout: timeout,
 			status:  "queued",
 		}
 	}
@@ -392,6 +530,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		cancel()
 		http.Error(w, "draining: not accepting new sweeps", http.StatusServiceUnavailable)
 		return
 	}
@@ -406,6 +545,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.metrics.enqueue(len(sw.jobs))
+	go func() {
+		// Release the sweep's context once every job has completed.
+		<-sw.finished
+		cancel()
+	}()
 	for i := range sw.jobs {
 		go s.runJob(sw, i)
 	}
@@ -413,7 +557,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob resolves one job: cache hit, shared in-flight run, or a fresh
-// simulation on the bounded pool.
+// simulation on the bounded pool. Any failure — panic, deadline,
+// cancellation, simulation error — lands in this job's error slot and
+// nowhere else: siblings keep running and nothing failed is cached.
 func (s *Server) runJob(sw *sweepRun, i int) {
 	defer s.jobs.Done()
 	job := &sw.jobs[i]
@@ -424,30 +570,39 @@ func (s *Server) runJob(sw *sweepRun, i int) {
 		return
 	}
 	sw.setRunning(i)
-	_, err, shared := s.flight.Do(job.key, func() ([]byte, error) {
+	_, err, shared := s.flight.Do(sw.ctx, job.key, func(fctx context.Context) ([]byte, error) {
 		// The slot gates the simulation itself; singleflight followers
-		// wait without occupying the pool.
-		s.sem <- struct{}{}
+		// wait without occupying the pool, and a flight nobody wants any
+		// more gives up the wait.
+		select {
+		case s.sem <- struct{}{}:
+		case <-fctx.Done():
+			return nil, fctx.Err()
+		}
 		defer func() { <-s.sem }()
 		if data, ok := s.cache.get(job.key); ok {
 			// A previous leader finished between our cache check and
 			// flight entry; serve its bytes.
 			return data, nil
 		}
-		s.metrics.runStart()
-		defer s.metrics.runEnd()
-		start := time.Now()
-		rep, err := gsi.Run(job.options, job.thunk())
-		if err != nil {
-			return nil, err
+		var lastErr error
+		for attempt := 0; attempt <= s.cfg.retryBudget(); attempt++ {
+			if attempt > 0 {
+				s.metrics.retried()
+				if !sleepCtx(fctx, backoff(attempt)) {
+					return nil, fctx.Err()
+				}
+			}
+			data, err := s.simulate(fctx, job)
+			if err == nil {
+				return data, nil
+			}
+			lastErr = err
+			if !retryable(err) || fctx.Err() != nil {
+				break
+			}
 		}
-		doc, err := rep.JSON()
-		if err != nil {
-			return nil, err
-		}
-		s.cache.put(job.key, doc)
-		s.metrics.simulation(uint64(time.Since(start).Nanoseconds()), rep.Cycles)
-		return doc, nil
+		return nil, lastErr
 	})
 	cached := false
 	if shared && err == nil {
@@ -457,18 +612,96 @@ func (s *Server) runJob(sw *sweepRun, i int) {
 	var errMsg string
 	if err != nil {
 		errMsg = err.Error()
+		if isCancelClass(err) {
+			s.metrics.cancel()
+		}
 	}
 	s.metrics.jobDone(err != nil)
 	sw.complete(i, errMsg, cached)
 }
 
-// handleSweep serves GET /sweeps/{id} (status, ?wait=1 blocks until the
-// sweep finishes) and GET /sweeps/{id}/events (SSE progress stream).
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
+// simulate runs one attempt at a job's simulation under the job's
+// wall-clock deadline, containing any panic (a component bug, an injected
+// fault) as a typed error: the pool worker survives, the sweep's other
+// points are untouched, and nothing is cached.
+func (s *Server) simulate(fctx context.Context, job *jobState) (data []byte, err error) {
+	runCtx := fctx
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(fctx, job.timeout)
+		defer cancel()
 	}
+	s.metrics.runStart()
+	defer s.metrics.runEnd()
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panicked()
+			err = fmt.Errorf("%w: %v\n%s", errSimPanic, r, debug.Stack())
+		}
+	}()
+	wl := job.thunk()
+	if s.cfg.Chaos != nil {
+		wl = s.cfg.Chaos.Wrap(job.label, wl).(gsi.Workload)
+	}
+	start := time.Now()
+	rep, err := gsi.RunContext(runCtx, job.options, wl)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := rep.JSON()
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(job.key, doc)
+	s.metrics.simulation(uint64(time.Since(start).Nanoseconds()), rep.Cycles)
+	return doc, nil
+}
+
+// retryable classifies a failed attempt: contained panics and I/O errors
+// are worth a bounded retry; everything else — deterministic simulation
+// failures (ErrMaxCycles, ErrStalled, verification), deadlines,
+// cancellation — fails the same way every time or was asked for, so
+// retrying only burns pool time.
+func retryable(err error) bool {
+	if errors.Is(err, errSimPanic) {
+		return true
+	}
+	var pathErr *os.PathError
+	var sysErr *os.SyscallError
+	return errors.As(err, &pathErr) || errors.As(err, &sysErr)
+}
+
+// isCancelClass reports whether a job error came from cancellation or a
+// deadline rather than the simulation itself.
+func isCancelClass(err error) bool {
+	return errors.Is(err, gsi.ErrCanceled) || errors.Is(err, gsi.ErrDeadline) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoff returns the jittered exponential delay before retry attempt n
+// (n >= 1): base*2^(n-1), plus up to 100% jitter so a burst of transient
+// failures does not retry in lockstep.
+func backoff(n int) time.Duration {
+	d := retryBackoffBase << (n - 1)
+	return d + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepCtx sleeps for d, reporting false if ctx fires first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// handleSweep serves GET /sweeps/{id} (status, ?wait=1 blocks until the
+// sweep finishes), DELETE /sweeps/{id} (cancel the sweep's unfinished
+// jobs), and GET /sweeps/{id}/events (SSE progress stream).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/sweeps/")
 	id, sub, _ := strings.Cut(rest, "/")
 	s.mu.Lock()
@@ -478,9 +711,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("no sweep %q", id), http.StatusNotFound)
 		return
 	}
+	if r.Method == http.MethodDelete && sub == "" {
+		sw.mu.Lock()
+		sw.canceled = true
+		sw.mu.Unlock()
+		// Unfinished jobs observe the cancellation at their next
+		// cooperative check and complete with a canceled error; the
+		// sweep still reaches finished, so waiters and SSE streams end
+		// normally.
+		sw.cancel()
+		writeJSON(w, http.StatusOK, sw.doc(false))
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
 	switch sub {
 	case "":
 		if r.URL.Query().Get("wait") != "" {
+			// A long poll can outlive the server's WriteTimeout budget;
+			// lift the per-connection write deadline for this response.
+			http.NewResponseController(w).SetWriteDeadline(time.Time{})
 			select {
 			case <-sw.finished:
 			case <-r.Context().Done():
@@ -504,9 +756,16 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sw *sweepR
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	// SSE streams are long-lived by design: exempt this response from the
+	// server's WriteTimeout (a stuck client is still bounded — every
+	// write goes through Flush, and the kernel buffer eventually refuses).
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// Push the headers out now: a subscriber to a sweep with no events yet
+	// must still see the stream open rather than a never-arriving response.
+	flusher.Flush()
 	send := func(ev progressEvent) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
@@ -578,6 +837,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true, "draining": draining})
+}
+
+// handleReady serves GET /readyz: readiness as distinct from liveness.
+// A draining server is alive (healthz stays 200) but not ready — load
+// balancers should stop routing to it. The body also reports how many
+// results the boot-time journal replay recovered, so an operator
+// restarting after a crash can see the recovery happened.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":           !draining,
+		"draining":        draining,
+		"journalReplayed": s.cache.stats().replayed,
+	})
 }
 
 // writeJSON writes v as an indented JSON response.

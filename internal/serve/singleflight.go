@@ -1,46 +1,88 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightCall is one in-flight simulation that concurrent requesters of
-// the same cache key share.
+// the same cache key share. waiters counts every job still interested in
+// the outcome; when the last one detaches (its own context fired) the
+// flight's context is canceled so the simulation stops doing work nobody
+// wants.
 type flightCall struct {
-	wg  sync.WaitGroup
-	val []byte
-	err error
+	done    chan struct{}
+	val     []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
 }
 
-// flightGroup is a minimal singleflight: Do collapses concurrent calls
-// with the same key onto one execution of fn, so overlapping sweep
+// flightGroup is a context-aware singleflight: Do collapses concurrent
+// calls with the same key onto one execution of fn, so overlapping sweep
 // submissions never simulate the same grid point twice at the same time.
+//
+// Cancellation is per waiter, not per flight: fn runs under a context
+// derived from the group root (not from any one caller), and each caller
+// whose ctx fires merely detaches. Deleting sweep A therefore never kills
+// a run sweep B is also waiting on; only when every waiter is gone does
+// the flight's context cancel and the engine unwind at its next
+// cooperative check.
 type flightGroup struct {
+	// root parents every flight's context; canceling it (server
+	// shutdown) stops all in-flight simulations.
+	root context.Context
+
 	mu sync.Mutex
 	m  map[string]*flightCall
 }
 
-// Do runs fn once per key at a time. The first caller (the leader)
-// executes fn; callers arriving while it runs wait and receive the same
-// result with shared=true.
-func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+// Do runs fn once per key at a time. The first caller (the leader) starts
+// fn on its own goroutine; every caller — leader included — waits for
+// either the result (shared reports whether another caller led the run)
+// or its own ctx, whichever comes first. A caller whose ctx fires gets
+// ctx.Err() and detaches; the flight keeps running for the remaining
+// waiters.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) (val []byte, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
 	}
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+	root := g.root
+	if root == nil {
+		root = context.Background()
 	}
-	c := new(flightCall)
-	c.wg.Add(1)
-	g.m[key] = c
+	c, found := g.m[key]
+	if !found {
+		fctx, cancel := context.WithCancel(root)
+		c = &flightCall{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = c
+		go func() {
+			c.val, c.err = fn(fctx)
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+			cancel()
+		}()
+	}
+	c.waiters++
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	return c.val, c.err, false
+	select {
+	case <-c.done:
+		g.mu.Lock()
+		c.waiters--
+		g.mu.Unlock()
+		return c.val, c.err, found
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			// Nobody is listening any more: stop the simulation.
+			c.cancel()
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err(), false
+	}
 }

@@ -32,6 +32,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -314,12 +315,43 @@ var ErrMaxCycles = errors.New("sim: max cycles exceeded")
 // can never complete. It carries the same diagnosis dump as ErrMaxCycles.
 var ErrStalled = errors.New("sim: all components idle before completion")
 
-// Run advances the simulation until done returns true, checking done before
-// every cycle. It returns the number of cycles executed by this call. Both
-// failure modes — the watchdog limit and a fully quiesced-but-unfinished
+// ErrDeadline is returned by RunContext when the context's wall-clock
+// deadline expires mid-run. Unlike ErrMaxCycles (an in-sim watchdog on
+// simulated cycles) this is a bound on real time; it carries the same
+// per-component diagnosis dump, so a deadline on a wedged simulation still
+// says which unit held work.
+var ErrDeadline = errors.New("sim: wall-clock deadline exceeded")
+
+// ErrCanceled is returned by RunContext when the context is canceled
+// mid-run — a deliberate stop (job deletion, shutdown), so no diagnosis
+// dump is attached.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// ctxCheckInterval is the number of engine iterations (tick passes or
+// skip-ahead jumps) between cooperative context checks in RunContext. The
+// poll is a non-blocking select, so the steady-state cost is one channel
+// check per interval; cancellation latency is bounded by the wall-clock
+// cost of one interval's worth of tick passes.
+const ctxCheckInterval = 1024
+
+// Run advances the simulation until done returns true with no external
+// cancellation: RunContext under context.Background().
+func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
+	return e.RunContext(context.Background(), done, maxCycles)
+}
+
+// RunContext advances the simulation until done returns true, checking done
+// before every cycle. It returns the number of cycles executed by this call.
+// Both failure modes — the watchdog limit and a fully quiesced-but-unfinished
 // system — append a per-component diagnosis so the dump says which unit
 // still held work instead of leaving a timeout opaque.
-func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
+//
+// ctx is polled cooperatively every ctxCheckInterval iterations, at tick/jump
+// boundaries only — never mid-cycle — so cancellation cannot perturb
+// simulation state: a run that completes did exactly what an uncancellable
+// run would have done. A fired deadline returns ErrDeadline (with the
+// diagnosis dump); any other cancellation returns ErrCanceled.
+func (e *Engine) RunContext(ctx context.Context, done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
 	e.startPool()
 	defer e.stopPool()
@@ -330,6 +362,8 @@ func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 		e.skipLimit = start + maxCycles
 	}
 	defer func() { e.skipLimit = NoEvent }()
+	ctxDone := ctx.Done()
+	sincePoll := 0
 	for !done() {
 		if e.cycle-start >= maxCycles {
 			return e.cycle - start, fmt.Errorf("%w (%d)\n%s", ErrMaxCycles, maxCycles, e.Diagnosis())
@@ -337,9 +371,30 @@ func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 		if e.mode != EngineDense && e.activeCount == 0 {
 			return e.cycle - start, fmt.Errorf("%w (cycle %d)\n%s", ErrStalled, e.cycle, e.Diagnosis())
 		}
+		if ctxDone != nil {
+			if sincePoll++; sincePoll >= ctxCheckInterval {
+				sincePoll = 0
+				select {
+				case <-ctxDone:
+					return e.cycle - start, e.contextError(ctx)
+				default:
+				}
+			}
+		}
 		e.Step()
 	}
 	return e.cycle - start, nil
+}
+
+// contextError converts a fired context into the engine's typed error: a
+// deadline becomes ErrDeadline with the diagnosis dump (the caller wants to
+// know what the simulation was stuck on), a plain cancel becomes ErrCanceled
+// without one (the caller asked for the stop).
+func (e *Engine) contextError(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w (cycle %d)\n%s", ErrDeadline, e.cycle, e.Diagnosis())
+	}
+	return fmt.Errorf("%w (cycle %d)", ErrCanceled, e.cycle)
 }
 
 // Step executes exactly one cycle: every active component ticks in
@@ -473,18 +528,31 @@ func (e *Engine) trySkip() (jumped bool) {
 // ActiveCount reports how many components currently have pending work.
 func (e *Engine) ActiveCount() int { return e.activeCount }
 
-// Diagnosis renders every registered component's name, busy/idle state,
+// diagnosisMaxComponents bounds the Diagnosis dump. The dump is embedded in
+// ErrMaxCycles/ErrStalled/ErrDeadline error strings, which the serve layer
+// stores per job and ships over SSE — on large meshes an unbounded dump
+// grows linearly with component count. Busy components carry the signal
+// (they are what a deadlock dump exists to name), so they are listed first;
+// idle ones fill the remaining budget and the rest collapse into one
+// elision note.
+const diagnosisMaxComponents = 32
+
+// Diagnosis renders registered components' names, busy/idle state,
 // next-event time (for NextEventers), and (for Diagnosers) pending-work
-// description — the deadlock dump attached to ErrMaxCycles and ErrStalled.
-// The next-event column says when each busy component expected to make
-// progress; "external" marks a component waiting purely on input from
-// others.
+// description — the deadlock dump attached to ErrMaxCycles, ErrStalled, and
+// ErrDeadline. The next-event column says when each busy component expected
+// to make progress; "external" marks a component waiting purely on input
+// from others. At most diagnosisMaxComponents components are listed — all
+// of them in registration order when the system fits, otherwise busy
+// components first (still in registration order) with a trailing note
+// counting what was elided.
 func (e *Engine) Diagnosis() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "engine diagnosis at cycle %d (%d/%d components busy):\n",
 		e.cycle, e.activeCount, len(e.comps))
 	now := e.LastTick()
-	for i, c := range e.comps {
+	line := func(i int) {
+		c := e.comps[i]
 		state := "idle"
 		if e.active[i] {
 			state = "busy"
@@ -502,5 +570,26 @@ func (e *Engine) Diagnosis() string {
 		}
 		sb.WriteByte('\n')
 	}
+	if len(e.comps) <= diagnosisMaxComponents {
+		for i := range e.comps {
+			line(i)
+		}
+		return sb.String()
+	}
+	printed := 0
+	for i := range e.comps {
+		if e.active[i] && printed < diagnosisMaxComponents {
+			line(i)
+			printed++
+		}
+	}
+	for i := range e.comps {
+		if !e.active[i] && printed < diagnosisMaxComponents {
+			line(i)
+			printed++
+		}
+	}
+	fmt.Fprintf(&sb, "  ... %d more components elided (dump capped at %d)\n",
+		len(e.comps)-printed, diagnosisMaxComponents)
 	return sb.String()
 }

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 )
 
@@ -237,6 +239,32 @@ type tickPool struct {
 	eng   *Engine
 	act   []int
 	cycle uint64
+
+	// Panic containment: a component panic on a worker goroutine would
+	// kill the whole process (a goroutine panic cannot be recovered by
+	// anyone else), so every stripe runs under a recover that parks the
+	// first panic here; run re-throws it on the engine goroutine after
+	// the barrier, where the caller's own recover (the sweep pool, the
+	// serve layer) can contain it to one simulation.
+	panicMu    sync.Mutex
+	panicVal   any
+	panicStack []byte
+}
+
+// PanicError is the value re-panicked on the engine goroutine when a
+// parallel tick-pass worker panicked: the original panic value plus the
+// worker's stack at the point of failure, which would otherwise be lost
+// with the worker goroutine.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+// Error renders the original panic value and the worker stack.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("panic on parallel tick worker: %v\n%s", p.Value, p.Stack)
 }
 
 func newTickPool(workers int) *tickPool {
@@ -261,14 +289,29 @@ func (p *tickPool) worker(w int, kick chan struct{}) {
 	}
 }
 
+// runStripe ticks this worker's round-robin share of the active groups,
+// containing any component panic to the pool's panic slot (first panic
+// wins; later ones on other stripes describe the same broken pass).
 func (p *tickPool) runStripe(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = r
+				p.panicStack = debug.Stack()
+			}
+			p.panicMu.Unlock()
+		}
+	}()
 	for j := w; j < len(p.act); j += p.n {
 		p.eng.runGroup(p.act[j], p.cycle)
 	}
 }
 
 // run executes one group phase across the pool and blocks until every
-// group has ticked.
+// group has ticked. A panic captured on any stripe is re-thrown here, on
+// the engine goroutine, as a *PanicError — after the barrier, so no worker
+// is still touching engine state while the caller unwinds.
 func (p *tickPool) run(e *Engine, act []int, cycle uint64) {
 	p.eng, p.act, p.cycle = e, act, cycle
 	p.wg.Add(len(p.kicks))
@@ -277,6 +320,11 @@ func (p *tickPool) run(e *Engine, act []int, cycle uint64) {
 	}
 	p.runStripe(0)
 	p.wg.Wait()
+	if p.panicVal != nil {
+		err := &PanicError{Value: p.panicVal, Stack: p.panicStack}
+		p.panicVal, p.panicStack = nil, nil
+		panic(err)
+	}
 }
 
 // stop terminates the pool's goroutines.

@@ -9,8 +9,10 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -31,15 +33,26 @@ func Workers(n int) int {
 }
 
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines and
-// returns the n results in index order. A worker panic is captured into
-// that job's Err rather than tearing down the pool, so one bad job cannot
-// lose the rest of a long batch.
+// returns the n results in index order: MapContext under
+// context.Background().
+func Map[T any](workers, n int, fn func(i int) (T, error), onDone func(Result[T])) []Result[T] {
+	return MapContext(context.Background(), workers, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) }, onDone)
+}
+
+// MapContext runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines and returns the n results in index order. A worker panic is
+// captured (with the worker's stack) into that job's Err rather than
+// tearing down the pool, so one bad job cannot lose the rest of a long
+// batch. ctx is passed through to every fn call; a fired context does not
+// abandon slots — every index still produces a Result, with jobs observing
+// the cancellation reporting it as their Err.
 //
 // onDone, when non-nil, is invoked once per finished job in completion
 // order (not index order), serialized under a lock — safe for progress
 // meters that write to a terminal. It must not block for long: every
 // worker serializes through it.
-func Map[T any](workers, n int, fn func(i int) (T, error), onDone func(Result[T])) []Result[T] {
+func MapContext[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error), onDone func(Result[T])) []Result[T] {
 	out := make([]Result[T], n)
 	if n == 0 {
 		return out
@@ -57,7 +70,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error), onDone func(Result[T]
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = run(i, fn)
+				out[i] = run(ctx, i, fn)
 				if onDone != nil {
 					doneMu.Lock()
 					onDone(out[i])
@@ -74,15 +87,16 @@ func Map[T any](workers, n int, fn func(i int) (T, error), onDone func(Result[T]
 	return out
 }
 
-// run executes one job, converting a panic into an error.
-func run[T any](i int, fn func(i int) (T, error)) (res Result[T]) {
+// run executes one job, converting a panic into an error that carries the
+// panic value and the worker's stack trace.
+func run[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (res Result[T]) {
 	res.Index = i
 	defer func() {
 		if r := recover(); r != nil {
-			res.Err = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+			res.Err = fmt.Errorf("sweep: job %d panicked: %v\n%s", i, r, debug.Stack())
 		}
 	}()
-	res.Value, res.Err = fn(i)
+	res.Value, res.Err = fn(ctx, i)
 	return res
 }
 

@@ -1,6 +1,7 @@
 package gsi
 
 import (
+	"context"
 	"fmt"
 
 	"gsi/internal/coherence"
@@ -79,6 +80,17 @@ func NewGUPSWith(p GUPS) Workload { return p.Instance() }
 // returned: a timing bug that corrupts results fails loudly rather than
 // producing a plausible breakdown.
 func Run(opt Options, w Workload) (*Report, error) {
+	return RunContext(context.Background(), opt, w)
+}
+
+// RunContext is Run under a context: cancellation and wall-clock deadlines
+// are checked cooperatively between simulated cycles, so a fired context
+// stops the simulation within one engine check interval without ever
+// perturbing its state — a run that completes is byte-identical to an
+// uncancellable one. A canceled run returns an error wrapping ErrCanceled;
+// an expired deadline wraps ErrDeadline and carries the engine's
+// per-component diagnosis dump, like the in-sim ErrMaxCycles watchdog.
+func RunContext(ctx context.Context, opt Options, w Workload) (*Report, error) {
 	opt = opt.withDefaults()
 	if err := opt.System.Validate(); err != nil {
 		return nil, err
@@ -102,10 +114,15 @@ func Run(opt Options, w Workload) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gsi: building %s: %w", w.Name(), err)
 	}
+	if err := ctx.Err(); err != nil {
+		// Building a large workload's memory image can take a while; honor
+		// a context that fired during it before committing to the run.
+		return nil, fmt.Errorf("gsi: %s canceled before launch: %w", w.Name(), err)
+	}
 	if err := g.Launch(kernel); err != nil {
 		return nil, err
 	}
-	cycles, err := g.Run()
+	cycles, err := g.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("gsi: running %s under %s: %w", w.Name(), opt.Protocol, err)
 	}

@@ -1,9 +1,12 @@
 package gsi
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"gsi/internal/cpu"
 	"gsi/internal/gpu"
@@ -63,6 +66,11 @@ type SweepConfig struct {
 	// Progress, when non-nil, receives one event per finished job. Events
 	// arrive in completion order — use them for meters, not results.
 	Progress func(SweepProgress)
+	// JobTimeout, when positive, bounds each job's wall-clock time: a job
+	// exceeding it fails with an error wrapping ErrDeadline (carrying the
+	// engine's diagnosis dump) while its siblings keep running. Zero means
+	// no per-job deadline; the RunContext context still applies.
+	JobTimeout time.Duration
 }
 
 // ProgressPrinter returns a Progress callback that writes one
@@ -91,11 +99,22 @@ func truncateError(err error, max int) string {
 	return string(runes[:max]) + "..."
 }
 
-// Run executes every job and returns all results in job order. The
-// returned error is the lowest-index job error (nil if all succeeded);
-// results for the other jobs are still returned alongside it, so a batch
-// with one bad configuration does not forfeit the rest.
+// Run executes every job and returns all results in job order:
+// RunContext under context.Background().
 func (s Sweep) Run(cfg SweepConfig) ([]SweepResult, error) {
+	return s.RunContext(context.Background(), cfg)
+}
+
+// RunContext executes every job under ctx and returns all results in job
+// order. The returned error is the lowest-index job error (nil if all
+// succeeded); results for the other jobs are still returned alongside it,
+// so a batch with one bad configuration does not forfeit the rest.
+//
+// Fault isolation per job: a panic is recovered (with its stack) into that
+// job's error, cfg.JobTimeout bounds each job's wall clock, and a fired
+// ctx cancels in-flight simulations cooperatively — jobs that had not
+// started yet fail immediately with the context's error.
+func (s Sweep) RunContext(ctx context.Context, cfg SweepConfig) ([]SweepResult, error) {
 	total := len(s.Jobs)
 	var onDone func(sweep.Result[*Report])
 	if cfg.Progress != nil {
@@ -106,16 +125,26 @@ func (s Sweep) Run(cfg SweepConfig) ([]SweepResult, error) {
 				Index: r.Index, Label: s.Jobs[r.Index].Label, Err: r.Err})
 		}
 	}
-	raw := sweep.Map(cfg.Parallel, total, func(i int) (rep *Report, err error) {
+	raw := sweep.MapContext(ctx, cfg.Parallel, total, func(ctx context.Context, i int) (rep *Report, err error) {
 		j := s.Jobs[i]
 		// Catch panics here, where the job label is known: the pool's own
 		// recovery backstop can only name a batch index.
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("%s: job %q panicked: %v", s.Name, j.Label, r)
+				err = fmt.Errorf("%s: job %q panicked: %v\n%s", s.Name, j.Label, r, debug.Stack())
 			}
 		}()
-		rep, err = Run(j.Options, j.Workload())
+		if err := ctx.Err(); err != nil {
+			// The batch was canceled before this job started; don't pay
+			// for a workload build just to discover it.
+			return nil, fmt.Errorf("%s: job %q: %w", s.Name, j.Label, err)
+		}
+		if cfg.JobTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.JobTimeout)
+			defer cancel()
+		}
+		rep, err = RunContext(ctx, j.Options, j.Workload())
 		if err != nil {
 			return nil, fmt.Errorf("%s: job %q: %w", s.Name, j.Label, err)
 		}
