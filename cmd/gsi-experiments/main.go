@@ -37,6 +37,7 @@ func main() {
 		engine   = flag.String("engine", "skip", "scheduling engine: dense | quiescent | skip (all byte-identical)")
 		dense    = flag.Bool("dense", false, "shorthand for -engine dense")
 		express  = flag.Bool("express", true, "mesh express routing: model uncontended multi-hop traversals as one timed event (always off in dense mode; timing is byte-identical either way)")
+		traceDir = flag.String("trace-dir", "", "write one Chrome/Perfetto trace-event JSON per figure job into this directory")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -117,6 +118,18 @@ func main() {
 	if len(specs) == 0 {
 		return
 	}
+	// Each traced job gets its own collector — collectors are single-run
+	// state, and the pool executes jobs concurrently.
+	type jobTrace struct {
+		file string
+		tr   *gsi.Trace
+	}
+	var traces []jobTrace
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fail("%v", err)
+		}
+	}
 	for si := range specs {
 		for ji := range specs[si].Sweep.Jobs {
 			o := &specs[si].Sweep.Jobs[ji].Options
@@ -127,6 +140,34 @@ func main() {
 			}
 			o.System.Engine = mode
 			o.System.Express = *express
+			if *traceDir != "" {
+				tr := gsi.NewTrace()
+				o.Trace = tr
+				name := sanitizeName(specs[si].ID + "-" + specs[si].Sweep.Jobs[ji].Label)
+				traces = append(traces, jobTrace{
+					file: fmt.Sprintf("%s/%s.trace.json", *traceDir, name),
+					tr:   tr,
+				})
+			}
+		}
+	}
+
+	writeTraces := func() {
+		for _, jt := range traces {
+			f, err := os.Create(jt.file)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := jt.tr.WriteChromeTrace(f); err != nil {
+				f.Close()
+				fail("writing %s: %v", jt.file, err)
+			}
+			if err := f.Close(); err != nil {
+				fail("writing %s: %v", jt.file, err)
+			}
+		}
+		if len(traces) > 0 {
+			fmt.Fprintf(os.Stderr, "gsi-experiments: wrote %d traces to %s\n", len(traces), *traceDir)
 		}
 	}
 
@@ -138,6 +179,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	writeTraces()
 
 	if *jsonOut {
 		// One array of figure documents — the same single-shape contract
@@ -165,6 +207,26 @@ func render(fs *gsi.FigureSet, width int, csv bool, base float64) {
 	default:
 		fmt.Print(fs.RenderTo(width, base))
 	}
+}
+
+// sanitizeName turns a figure/job label into a safe file-name stem:
+// lower-cased, runs of non-alphanumerics collapsed to single dashes.
+func sanitizeName(s string) string {
+	var sb strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '.':
+			sb.WriteRune(r)
+			dash = false
+		default:
+			if !dash && sb.Len() > 0 {
+				sb.WriteByte('-')
+			}
+			dash = true
+		}
+	}
+	return strings.TrimSuffix(sb.String(), "-")
 }
 
 func fail(format string, args ...any) {

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,6 +56,8 @@ func main() {
 		ticks    = flag.Int("parallel-ticks", 0, "tick workers per simulation (>= 2 selects the parallel engine; 0 = serial)")
 		express  = flag.Bool("express", true, "mesh express routing: model uncontended multi-hop traversals as one timed event (always off in dense mode; timing is byte-identical either way)")
 		stats    = flag.Bool("stats", false, "print per-run engine scheduling stats (steps, jumps, express deliveries/demotions) to stderr")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of the run to this file (single configuration only)")
+		htmlOut  = flag.String("timeline-html", "", "write a self-contained interactive HTML timeline of the run to this file (single configuration only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		runLimit = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation; on expiry running jobs are canceled and completed results still print (0 = none)")
@@ -198,6 +201,19 @@ func main() {
 	}
 	sweep := grid.Sweep()
 
+	// Tracing instruments exactly one simulation: a single collector
+	// shared across grid points would reset itself per run and race the
+	// pool. Attach it to the job after expansion so the sweep layer never
+	// sees trace-specific options.
+	var tr *gsi.Trace
+	if *traceOut != "" || *htmlOut != "" {
+		if len(sweep.Jobs) != 1 {
+			fail("-trace and -timeline-html need a single configuration, got %d grid points", len(sweep.Jobs))
+		}
+		tr = gsi.NewTrace()
+		sweep.Jobs[0].Options.Trace = tr
+	}
+
 	cfg := gsi.SweepConfig{Parallel: *parallel}
 	if *ticks > 1 {
 		// Nested-parallelism budget: each simulation already spreads its
@@ -234,11 +250,7 @@ func main() {
 			// differ between modes, while stdout stays byte-identical
 			// (the CI consistency gate diffs it).
 			for _, res := range rs {
-				st := res.Report.EngineStats
-				fmt.Fprintf(os.Stderr,
-					"engine stats [%s]: steps=%d jumps=%d skipped=%d express=%d demotions=%d\n",
-					res.Job.Label, st.Steps, st.Jumps, st.SkippedCycles,
-					st.ExpressDeliveries, st.ExpressDemotions)
+				printEngineStats(res.Job.Label, res.Report.EngineStats)
 			}
 		}
 		if *jsonOut {
@@ -276,6 +288,63 @@ func main() {
 		fail("%v", err)
 	}
 	emit(results)
+	if tr != nil {
+		if *traceOut != "" {
+			exportTrace(*traceOut, tr.WriteChromeTrace)
+		}
+		if *htmlOut != "" {
+			exportTrace(*htmlOut, tr.WriteHTML)
+		}
+	}
+}
+
+// printEngineStats prints one run's scheduling counters to stderr in a
+// uniform shape for all four engine modes — the dense loop simply reports
+// jumps=0 — so scripted consumers (including the CI event-density gate)
+// parse one format everywhere. Jump-width and phase-attribution detail
+// lines appear only when the run recorded such events.
+func printEngineStats(label string, st gsi.EngineStats) {
+	fmt.Fprintf(os.Stderr,
+		"engine stats [%s]: steps=%d jumps=%d skipped=%d express=%d demotions=%d\n",
+		label, st.Steps, st.Jumps, st.SkippedCycles,
+		st.ExpressDeliveries, st.ExpressDemotions)
+	if st.Jumps > 0 {
+		var sb strings.Builder
+		for b, n := range st.JumpHist {
+			if n == 0 {
+				continue
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "2^%d:%d", b, n)
+		}
+		fmt.Fprintf(os.Stderr, "  jump widths [%s]: %s\n", label, sb.String())
+	}
+	if total := st.PhaseNanos.Hub + st.PhaseNanos.Group + st.PhaseNanos.Commit; total > 0 {
+		pct := func(v uint64) float64 { return 100 * float64(v) / float64(total) }
+		fmt.Fprintf(os.Stderr,
+			"  tick phases [%s]: hub=%dns (%.0f%%) group=%dns (%.0f%%) commit=%dns (%.0f%%)\n",
+			label, st.PhaseNanos.Hub, pct(st.PhaseNanos.Hub),
+			st.PhaseNanos.Group, pct(st.PhaseNanos.Group),
+			st.PhaseNanos.Commit, pct(st.PhaseNanos.Commit))
+	}
+}
+
+// exportTrace writes one trace artifact, failing loudly on any I/O error:
+// a truncated trace silently loaded into a viewer is worse than no trace.
+func exportTrace(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fail("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fail("writing %s: %v", path, err)
+	}
 }
 
 // printJSON emits an array of {label, report} objects — always an array,

@@ -126,6 +126,56 @@ func TestEnginesIdenticalWithTimeline(t *testing.T) {
 	}
 }
 
+// TestEnginesByteIdenticalWithTrace extends the cross-engine contract to
+// the observability layer: with a trace collector attached — every
+// Inspector classification, engine jump, parallel phase sample, and mesh
+// express event flowing into it — each of the four engine modes must
+// still produce the byte-identical JSON report an untraced dense run
+// does. Tracing is observation only; any hook that perturbs simulation
+// state diverges here.
+func TestEnginesByteIdenticalWithTrace(t *testing.T) {
+	w := NewUTSDWith(UTSD{Seed: 0xC0FFEE, Nodes: 120, FrontierMin: 40,
+		Blocks: 15, WarpsPerBlock: 8, Work: 8, FMAs: 4, LQCap: 128})
+	run := func(mode EngineMode, tr *Trace) *Report {
+		opt := Options{Protocol: DeNovo, Trace: tr}
+		opt.System = DefaultConfig()
+		opt.System.Engine = mode
+		if mode == EngineParallel {
+			opt.System.Parallel = 4
+		}
+		rep, err := Run(opt, w)
+		if err != nil {
+			t.Fatalf("%s engine: %v", mode, err)
+		}
+		return rep
+	}
+	dj, err := run(EngineDense, nil).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []EngineMode{EngineDense, EngineQuiescent, EngineSkip, EngineParallel} {
+		tr := NewTrace()
+		rj, err := run(mode, tr).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rj, dj) {
+			a, b := diffLine(rj, dj)
+			t.Errorf("traced %s diverges from untraced dense:\n %s: %s\n dense: %s", mode, mode, a, b)
+		}
+		if tr.NumSMs() == 0 || tr.EndCycle() == 0 {
+			t.Errorf("traced %s run collected nothing (sms=%d end=%d)", mode, tr.NumSMs(), tr.EndCycle())
+		}
+		var spans int
+		for sm := 0; sm < tr.NumSMs(); sm++ {
+			spans += len(tr.Spans(sm))
+		}
+		if spans == 0 {
+			t.Errorf("traced %s run recorded no stall spans", mode)
+		}
+	}
+}
+
 // TestNextEventWorkloadPool is the full-system analog of the sim package's
 // NextEvent property test: every workload in the registry — the pool now
 // includes BFS's global barriers, SpMV's gathers, the pipeline's bursty
@@ -216,6 +266,15 @@ func TestSkipAheadActuallyJumps(t *testing.T) {
 	if frac < 0.2 {
 		t.Errorf("skip-ahead skipped only %.1f%% of %d cycles on a high-MSHR run; expected a latency-dominated workload to jump most of its waiting",
 			frac*100, rep.Cycles)
+	}
+	// The jump-width histogram partitions the jumps: every jump lands in
+	// exactly one width bucket.
+	var histTotal uint64
+	for _, n := range st.JumpHist {
+		histTotal += n
+	}
+	if histTotal != st.Jumps {
+		t.Errorf("jump-width histogram sums to %d, want Jumps=%d (%+v)", histTotal, st.Jumps, st.JumpHist)
 	}
 	// The jumps must not have changed anything: the same configuration on
 	// the dense loop produces the identical report.

@@ -35,6 +35,7 @@ import (
 	"gsi/internal/mem"
 	"gsi/internal/scratchpad"
 	"gsi/internal/sim"
+	"gsi/internal/trace"
 	"gsi/internal/workloads"
 )
 
@@ -284,7 +285,34 @@ type Options struct {
 	// SkipVerify skips the workload's functional post-check (used by
 	// fault-injection tests).
 	SkipVerify bool
+	// Trace, when non-nil, collects a structured event trace of the run
+	// (per-SM stall spans, clock jumps, parallel phase timings, express
+	// mesh events) for export via Trace.WriteChromeTrace or
+	// Trace.WriteHTML. Tracing never changes simulation results: a traced
+	// run's Report is byte-identical to an untraced one. The field is
+	// excluded from JSON encodings and from CacheKey — trace presence
+	// never changes a cache identity.
+	Trace *Trace `json:"-"`
 }
+
+// Trace re-exports the structured trace collector. Allocate one with
+// NewTrace, set it on Options.Trace, run, then export with
+// WriteChromeTrace (Chrome/Perfetto trace-event JSON) or WriteHTML (a
+// self-contained interactive timeline page).
+type Trace = trace.Collector
+
+// NewTrace returns an empty trace collector ready to set on
+// Options.Trace. A collector may be reused across runs; each run resets
+// it first.
+func NewTrace() *Trace { return trace.New() }
+
+// TimelineSnapshot re-exports the structured per-SM stall timeline
+// captured when Options.Timeline is set (bucketed per-kind cycle counts,
+// the data behind Report.Timeline's ASCII rendering).
+type TimelineSnapshot = core.TimelineSnapshot
+
+// TimelineColumn re-exports one time bucket of a TimelineSnapshot.
+type TimelineColumn = core.TimelineColumn
 
 // withDefaults fills in the zero value, preserving an engine-mode (and
 // tick-worker) selection made on an otherwise-zero System.

@@ -75,6 +75,25 @@ type Inspector struct {
 	// Timeline, when set, records a per-SM stall timeline alongside the
 	// counters (see NewTimeline).
 	Timeline *Timeline
+	// Trace, when set, receives the full classification stream (every
+	// recorded span with its sub-cause payload) plus load completions for
+	// deferred-attribution resolution. Nil by default; the hot path pays
+	// one pointer test.
+	Trace TraceSink
+}
+
+// TraceSink receives the Inspector's classification stream for structured
+// trace export (implemented by trace.Collector; defined here so core stays
+// free of trace dependencies). Calls for one SM are always serialized by
+// the engine, matching the Inspector's own per-SM sharding contract.
+type TraceSink interface {
+	// StallSpan reports n consecutive cycles of one classification on sm.
+	// Spans arrive in per-SM cycle order with no gaps, so a sink can
+	// reconstruct absolute cycle positions by accumulation.
+	StallSpan(sm int, cc CycleClass, n uint64)
+	// LoadResolved reports where a pending load was serviced, resolving
+	// the deferred attribution of earlier MemData spans naming it.
+	LoadResolved(sm int, id LoadID, where DataWhere)
 }
 
 type pendingLoad struct {
@@ -128,6 +147,9 @@ func (in *Inspector) RecordCycleSpan(sm int, cc CycleClass, n uint64) {
 	c.Cycles[cc.Kind] += n
 	if in.Timeline != nil {
 		in.Timeline.RecordSpan(sm, cc.Kind, n)
+	}
+	if in.Trace != nil {
+		in.Trace.StallSpan(sm, cc, n)
 	}
 	switch cc.Kind {
 	case MemData:
@@ -196,6 +218,9 @@ func (in *Inspector) recordMemData(sm int, id LoadID, n uint64) {
 // is retained (marked done) so stalls charged to the load in the completion
 // cycle itself still resolve correctly; Flush drops retained entries.
 func (in *Inspector) LoadCompleted(sm int, id LoadID, where DataWhere) {
+	if in.Trace != nil && id != 0 {
+		in.Trace.LoadResolved(sm, id, where)
+	}
 	if in.EagerAttribution || id == 0 {
 		return
 	}

@@ -107,6 +107,43 @@ func (tl *Timeline) rescale() {
 // BucketWidth returns the current cycles-per-column resolution.
 func (tl *Timeline) BucketWidth() uint64 { return tl.bucketWidth }
 
+// TimelineSnapshot is the structured form of a Timeline: the per-SM bucket
+// matrix with its resolution, suitable for JSON interchange (serve clients
+// plot it without the ASCII renderer). Columns marshal as labeled
+// stall-kind maps like Counts, so documents survive taxonomy reordering.
+type TimelineSnapshot struct {
+	// BucketWidth is the cycles-per-column resolution.
+	BucketWidth uint64 `json:"bucketWidth"`
+	// SMs holds one column list per SM; column b covers cycles
+	// [b*BucketWidth, (b+1)*BucketWidth).
+	SMs [][]TimelineColumn `json:"sms"`
+}
+
+// TimelineColumn is one time bucket of one SM: classified cycles by kind.
+type TimelineColumn struct {
+	// Counts is the bucket's cycle count per stall kind.
+	Counts [NumStallKinds]uint64
+}
+
+// Snapshot returns the timeline's current bucket matrix. The snapshot is a
+// deep copy; recording may continue afterwards.
+func (tl *Timeline) Snapshot() *TimelineSnapshot {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	s := &TimelineSnapshot{
+		BucketWidth: tl.bucketWidth,
+		SMs:         make([][]TimelineColumn, len(tl.sms)),
+	}
+	for i := range tl.sms {
+		cols := make([]TimelineColumn, len(tl.sms[i].buckets))
+		for j, b := range tl.sms[i].buckets {
+			cols[j] = TimelineColumn{Counts: b.counts}
+		}
+		s.SMs[i] = cols
+	}
+	return s
+}
+
 // timelineGlyphs maps each stall kind to its timeline character; idle
 // renders as blank so busy phases stand out.
 var timelineGlyphs = [NumStallKinds]byte{

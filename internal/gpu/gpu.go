@@ -7,6 +7,7 @@ import (
 	"gsi/internal/core"
 	"gsi/internal/mem"
 	"gsi/internal/sim"
+	"gsi/internal/trace"
 )
 
 // GPU is the full simulated device: the memory system, the SMs, and the
@@ -21,6 +22,12 @@ type GPU struct {
 	// (steps executed, skip-ahead jumps, cycles skipped). It is not part
 	// of the Report: every engine mode produces identical Reports.
 	EngineStats sim.EngineStats
+
+	// Trace, when set before Run, observes the engine's clock jumps and
+	// parallel phase timings plus the mesh's express events. The
+	// Inspector's classification stream is wired separately (set
+	// Insp.Trace). Tracing never changes results.
+	Trace *trace.Collector
 
 	kernel     *Kernel
 	nextBlock  int
@@ -191,6 +198,10 @@ func (g *GPU) RunContext(ctx context.Context) (uint64, error) {
 	eng.SetMode(mode)
 	if parallel {
 		eng.SetParallel(g.Cfg.TickWorkers())
+	}
+	if g.Trace != nil {
+		eng.SetObserver(g.Trace)
+		g.Sys.Mesh.SetObserver(g.Trace)
 	}
 	g.Sys.Attach(eng)
 	slots := make([]*smSlot, len(g.SMs))

@@ -263,6 +263,9 @@ func (m *Mesh) demote(f *exFlit) {
 	m.exCount--
 	m.due.remove(f.deliverAt)
 	m.Stats.ExpressDemotions++
+	if m.obs != nil && mk >= 0 {
+		m.obs.ExpressDemotion(m.popAt(f, mk), f.inject, f.src, f.dst, mk)
+	}
 	if mk < 0 {
 		// Every edge including the local ejection has conceptually
 		// executed, yet the flit was not delivered — unreachable, because
@@ -298,5 +301,8 @@ func (m *Mesh) deliverExpress(f *exFlit, cycle uint64, tile int) {
 	m.Stats.Hops += uint64(f.hops)
 	m.Stats.InFlight--
 	m.Stats.ExpressDeliveries++
+	if m.obs != nil {
+		m.obs.ExpressDelivery(cycle, f.inject, f.src, f.dst, f.hops)
+	}
 	m.handler(cycle, tile, f.port, f.payload)
 }

@@ -166,6 +166,7 @@ type Mesh struct {
 	routers   []router
 	handler   Handler
 	wake      func()
+	obs       Observer
 	due       dueTracker
 
 	// Express-routing state (see express.go): exEdges indexes every
@@ -285,6 +286,23 @@ func (m *Mesh) SetExpress(on bool) { m.express = on }
 // engine; Send invokes it so an idle mesh starts ticking again as soon as a
 // message is injected.
 func (m *Mesh) SetWaker(wake func()) { m.wake = wake }
+
+// Observer receives express-routing events for structured tracing
+// (implemented by trace.Collector; defined here so noc stays dependency
+// free). Both callbacks run during mesh operations on the engine
+// goroutine and must not touch mesh state.
+type Observer interface {
+	// ExpressDelivery reports a completed express traversal: injected at
+	// inject, delivered at cycle, src to dst over hops links.
+	ExpressDelivery(cycle, inject uint64, src, dst, hops int)
+	// ExpressDemotion reports an express flit materialized back into the
+	// per-hop pipeline at hop index hop, with its queue entry due at at.
+	ExpressDemotion(at, inject uint64, src, dst, hop int)
+}
+
+// SetObserver installs (or, with nil, removes) the express-event observer.
+// Observation never changes routing decisions or timing.
+func (m *Mesh) SetObserver(o Observer) { m.obs = o }
 
 // Tiles returns the number of tiles.
 func (m *Mesh) Tiles() int { return m.w * m.h }

@@ -46,6 +46,17 @@ type resultCache struct {
 	dirty   map[string]bool
 	evicted uint64
 
+	// traces holds per-key trace artifacts (Chrome trace-event JSON) for
+	// submissions that opted in. Artifacts live outside the LRU bounds —
+	// they are written through to <dir>/<key>.trace immediately (the
+	// ".trace" suffix keeps the boot glob from loading them as results)
+	// and the in-memory copy is dropped when the key's result is evicted;
+	// getTrace falls back to disk, so bounding memory never loses an
+	// artifact that reached a configured directory. Unlike results they
+	// are not journaled: a trace is an observability extra, and a crash
+	// losing one loses nothing a re-run with tracing cannot recreate.
+	traces map[string][]byte
+
 	journal     *os.File // open append handle; nil without a cache dir
 	replayed    int      // entries recovered from the journal at boot
 	journalErrs uint64   // failed journal appends (entry stays dirty)
@@ -84,6 +95,7 @@ func newResultCache(dir string, maxEntries, maxBytes int) (*resultCache, error) 
 		maxBytes:   maxBytes,
 		entries:    map[string]*list.Element{},
 		dirty:      map[string]bool{},
+		traces:     map[string][]byte{},
 	}
 	if dir == "" {
 		return c, nil
@@ -239,10 +251,48 @@ func (c *resultCache) evict() {
 		}
 		delete(c.dirty, e.key)
 		delete(c.entries, e.key)
+		delete(c.traces, e.key) // the write-through file, if any, remains
 		c.lru.Remove(el)
 		c.bytes -= len(e.data)
 		c.evicted++
 	}
+}
+
+// putTrace stores a trace artifact for key, writing it through to the
+// cache directory at once (best effort — the in-memory copy still
+// serves). First write wins, like put: a key's trace is as deterministic
+// as its result, event for event.
+func (c *resultCache) putTrace(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.traces[key]; ok {
+		return
+	}
+	c.traces[key] = data
+	if c.dir != "" {
+		_ = os.WriteFile(filepath.Join(c.dir, key+".trace"), data, 0o644)
+	}
+}
+
+// getTrace returns the trace artifact for key, falling back to the cache
+// directory when the in-memory copy was dropped with its evicted result
+// (or belongs to a previous process).
+func (c *resultCache) getTrace(key string) ([]byte, bool) {
+	c.mu.Lock()
+	data, ok := c.traces[key]
+	dir := c.dir
+	c.mu.Unlock()
+	if ok {
+		return data, true
+	}
+	if dir == "" || strings.ContainsAny(key, "/\\") {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, key+".trace"))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
 }
 
 // size returns the number of cached results.

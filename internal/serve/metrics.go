@@ -5,6 +5,9 @@ import (
 	"io"
 	"strconv"
 	"sync"
+
+	"gsi"
+	"gsi/internal/core"
 )
 
 // nsPerCycleBounds are the upper bounds (inclusive, in nanoseconds of
@@ -36,6 +39,15 @@ type metrics struct {
 
 	simNanos  uint64 // total wall-clock nanoseconds across simulations
 	simCycles uint64 // total simulated cycles across simulations
+
+	// Aggregates folded from every fresh simulation's Report: classified
+	// stall cycles by top-level kind (summed across SMs), and the
+	// engine/mesh event counters behind the run.
+	stallCycles  [core.NumStallKinds]uint64
+	engJumps     uint64 // skip-ahead clock jumps
+	engSkipped   uint64 // cycles the skip-ahead jumps covered
+	engExpress   uint64 // express-routed mesh deliveries
+	engDemotions uint64 // express flits demoted to hop-by-hop routing
 
 	hist    []uint64 // ns-per-cycle histogram; last slot is overflow
 	histSum float64  // sum of observed ns-per-cycle values (Prometheus _sum)
@@ -107,6 +119,22 @@ func (m *metrics) cancel() {
 	m.mu.Unlock()
 }
 
+// report folds one fresh simulation's Report into the aggregate stall
+// and engine counters. Cached and deduplicated jobs are deliberately not
+// folded: the aggregates count simulation work performed by this
+// process, and double-counting a shared run would skew the per-kind mix.
+func (m *metrics) report(rep *gsi.Report) {
+	m.mu.Lock()
+	for k, n := range rep.Counts.Cycles {
+		m.stallCycles[k] += n
+	}
+	m.engJumps += rep.EngineStats.Jumps
+	m.engSkipped += rep.EngineStats.SkippedCycles
+	m.engExpress += rep.EngineStats.ExpressDeliveries
+	m.engDemotions += rep.EngineStats.ExpressDemotions
+	m.mu.Unlock()
+}
+
 // simulation records one completed fresh run: its wall-clock cost and the
 // simulated cycles it covered, bucketed as ns per cycle.
 func (m *metrics) simulation(nanos uint64, cycles uint64) {
@@ -161,8 +189,21 @@ type metricsSnapshot struct {
 	SimNanos    uint64       `json:"simNanos"`
 	SimCycles   uint64       `json:"simCycles"`
 	NsPerCycle  []histBucket `json:"nsPerCycle"`
+	// StallCycles aggregates classified cycles by top-level stall kind
+	// (label-keyed, summed over every SM of every fresh simulation).
+	StallCycles map[string]uint64 `json:"stallCycles"`
+	Engine      struct {
+		Jumps             uint64 `json:"jumps"`
+		SkippedCycles     uint64 `json:"skippedCycles"`
+		ExpressDeliveries uint64 `json:"expressDeliveries"`
+		ExpressDemotions  uint64 `json:"expressDemotions"`
+	} `json:"engine"`
 
 	histSum float64 // carried for the Prometheus rendering, not in JSON
+
+	// stallByKind carries the kind-ordered counts for the Prometheus
+	// rendering (label maps lose the taxonomy order).
+	stallByKind [core.NumStallKinds]uint64
 }
 
 // snapshot captures a consistent view; queued is derived (submitted jobs
@@ -189,6 +230,15 @@ func (m *metrics) snapshot(cs cacheStats) metricsSnapshot {
 	s.Canceled = m.canceled
 	s.SimNanos = m.simNanos
 	s.SimCycles = m.simCycles
+	s.StallCycles = make(map[string]uint64, core.NumStallKinds)
+	for _, k := range core.StallKinds() {
+		s.StallCycles[k.String()] = m.stallCycles[k]
+	}
+	s.stallByKind = m.stallCycles
+	s.Engine.Jumps = m.engJumps
+	s.Engine.SkippedCycles = m.engSkipped
+	s.Engine.ExpressDeliveries = m.engExpress
+	s.Engine.ExpressDemotions = m.engDemotions
 	s.histSum = m.histSum
 	s.NsPerCycle = make([]histBucket, len(m.hist))
 	for i, n := range m.hist {
@@ -230,6 +280,14 @@ func (s metricsSnapshot) prometheus(w io.Writer) {
 	counter("gsi_jobs_canceled_total", "Jobs ended by cancellation or deadline.", s.Canceled)
 	counter("gsi_sim_nanoseconds_total", "Wall-clock nanoseconds across fresh simulations.", s.SimNanos)
 	counter("gsi_sim_cycles_total", "Simulated cycles across fresh simulations.", s.SimCycles)
+	counter("gsi_engine_jumps_total", "Skip-ahead clock jumps across fresh simulations.", s.Engine.Jumps)
+	counter("gsi_engine_skipped_cycles_total", "Cycles covered by skip-ahead jumps across fresh simulations.", s.Engine.SkippedCycles)
+	counter("gsi_engine_express_deliveries_total", "Express-routed mesh deliveries across fresh simulations.", s.Engine.ExpressDeliveries)
+	counter("gsi_engine_express_demotions_total", "Express flits demoted to hop-by-hop routing across fresh simulations.", s.Engine.ExpressDemotions)
+	fmt.Fprintf(w, "# HELP gsi_stall_cycles_total Classified cycles by top-level stall kind across fresh simulations.\n# TYPE gsi_stall_cycles_total counter\n")
+	for _, k := range core.StallKinds() {
+		fmt.Fprintf(w, "gsi_stall_cycles_total{kind=%q} %d\n", k.String(), s.stallByKind[k])
+	}
 
 	name := "gsi_sim_ns_per_cycle"
 	fmt.Fprintf(w, "# HELP %s Wall-clock nanoseconds per simulated cycle.\n# TYPE %s histogram\n", name, name)

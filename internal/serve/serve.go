@@ -25,7 +25,9 @@
 //	DELETE /sweeps/{id}       cancel the sweep's unfinished jobs
 //	GET    /sweeps/{id}/events  per-job progress as Server-Sent Events
 //	GET    /results/{key}     cached Report bytes by content address
-//	GET    /metrics           jobs queued/running/done, cache hits/bytes/evictions, ns-per-cycle histogram
+//	GET    /results/{key}/trace  Chrome/Perfetto trace of the run (submissions with "trace": true)
+//	GET    /metrics           jobs queued/running/done, cache hits/bytes/evictions, stall-cycle and
+//	                          engine counters, ns-per-cycle histogram
 //	                          (?format=prometheus for the text exposition format)
 //	GET    /healthz           liveness (reports draining state)
 //	GET    /readyz            readiness: 503 while draining; reports journal replay
@@ -33,6 +35,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -269,6 +272,15 @@ type Submission struct {
 	// submission (Go duration syntax, e.g. "90s"); the server's
 	// -job-timeout-max cap still applies.
 	Timeout string `json:"timeout,omitempty"`
+	// Trace, when true, records a structured event trace for every fresh
+	// simulation this submission triggers and stores the Chrome/Perfetto
+	// artifact next to the cached result, served at
+	// /results/{key}/trace. Tracing never changes the Report or the cache
+	// key: a traced and an untraced submission of the same grid point
+	// share one result entry, and a job served from the cache (or from a
+	// shared in-flight run) reuses whatever trace artifact the key
+	// already has rather than re-simulating.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // grid expands the submission into the equivalent gsi.Grid.
@@ -318,6 +330,7 @@ type jobState struct {
 	options gsi.Options
 	thunk   func() gsi.Workload
 	timeout time.Duration // effective wall-clock deadline; 0 = none
+	trace   bool          // record + store a trace artifact on a fresh run
 
 	status string // "queued", "running", "done", "failed"
 	errMsg string
@@ -523,6 +536,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 			options: job.Options,
 			thunk:   job.Workload,
 			timeout: timeout,
+			trace:   sub.Trace,
 			status:  "queued",
 		}
 	}
@@ -643,8 +657,18 @@ func (s *Server) simulate(fctx context.Context, job *jobState) (data []byte, err
 	if s.cfg.Chaos != nil {
 		wl = s.cfg.Chaos.Wrap(job.label, wl).(gsi.Workload)
 	}
+	// Tracing rides on a copy of the job's options: the collector is
+	// attempt-local (a retried attempt restarts it), and the stored
+	// options stay trace-free so the cache key derivation they fed
+	// remains visibly untouched.
+	opts := job.options
+	var tr *gsi.Trace
+	if job.trace {
+		tr = gsi.NewTrace()
+		opts.Trace = tr
+	}
 	start := time.Now()
-	rep, err := gsi.RunContext(runCtx, job.options, wl)
+	rep, err := gsi.RunContext(runCtx, opts, wl)
 	if err != nil {
 		return nil, err
 	}
@@ -653,6 +677,13 @@ func (s *Server) simulate(fctx context.Context, job *jobState) (data []byte, err
 		return nil, err
 	}
 	s.cache.put(job.key, doc)
+	if tr != nil {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err == nil {
+			s.cache.putTrace(job.key, buf.Bytes())
+		}
+	}
+	s.metrics.report(rep)
 	s.metrics.simulation(uint64(time.Since(start).Nanoseconds()), rep.Cycles)
 	return doc, nil
 }
@@ -802,20 +833,35 @@ done:
 	flusher.Flush()
 }
 
-// handleResult serves GET /results/{key}: the exact cached Report bytes.
+// handleResult serves GET /results/{key} (the exact cached Report bytes)
+// and GET /results/{key}/trace (the run's Chrome/Perfetto trace artifact,
+// present only when a submission opted in with "trace": true).
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	key := strings.TrimPrefix(r.URL.Path, "/results/")
-	data, ok := s.cache.get(key)
-	if !ok {
-		http.Error(w, "no cached result for key", http.StatusNotFound)
-		return
+	key, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/results/"), "/")
+	switch sub {
+	case "":
+		data, ok := s.cache.get(key)
+		if !ok {
+			http.Error(w, "no cached result for key", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case "trace":
+		data, ok := s.cache.getTrace(key)
+		if !ok {
+			http.Error(w, "no trace artifact for key", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
 }
 
 // handleMetrics serves GET /metrics as an indented JSON document, or in

@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"gsi"
+	"gsi/internal/core"
 )
 
 // smallSweep is a fast 4-point submission (implicit microbenchmark, two
@@ -421,5 +424,145 @@ func TestServeMetricsHistogram(t *testing.T) {
 	}
 	if m.NsPerCycle[len(m.NsPerCycle)-1].Le != nil {
 		t.Error("last histogram bucket should be the +Inf overflow (le null)")
+	}
+}
+
+// tracedPoint is a one-point submission with the trace opt-in set.
+func tracedPoint(name string, trace bool) Submission {
+	return Submission{
+		Name:      name,
+		Workloads: []string{"implicit"},
+		Params:    map[string]string{"warps": "4", "databytes": "2048", "rounds": "1"},
+		Trace:     trace,
+	}
+}
+
+// TestServeTraceArtifact: a submission with "trace": true stores a
+// Chrome-trace artifact next to the cached result, served at
+// /results/{key}/trace; the result bytes themselves stay byte-identical
+// to an untraced run (trace presence is outside the cache identity), and
+// a key that never opted in has no artifact.
+func TestServeTraceArtifact(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 2, CacheDir: dir})
+	done := wait(t, ts, submit(t, ts, tracedPoint("traced", true)).ID)
+	if done.Failed != 0 {
+		t.Fatalf("traced sweep had failures: %+v", done.Jobs)
+	}
+	key := done.Jobs[0].Key
+
+	resp, err := http.Get(ts.URL + "/results/" + key + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d", resp.StatusCode)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace artifact has no events")
+	}
+
+	// Tracing must not have perturbed the result: an untraced submission
+	// of the same point is a cache hit on the same key with the same bytes.
+	tracedBytes := getResult(t, ts, key)
+	done2 := wait(t, ts, submit(t, ts, tracedPoint("untraced", false)).ID)
+	if done2.Jobs[0].Key != key {
+		t.Fatalf("trace opt-in changed the cache key: %s vs %s", done2.Jobs[0].Key, key)
+	}
+	if !done2.Jobs[0].Cached {
+		t.Error("untraced resubmission was not a cache hit")
+	}
+	if !bytes.Equal(getResult(t, ts, key), tracedBytes) {
+		t.Error("result bytes changed between traced and untraced submissions")
+	}
+
+	// The artifact is written through to the cache directory with a
+	// suffix the result boot-glob ignores.
+	if _, err := os.Stat(filepath.Join(dir, key+".trace")); err != nil {
+		t.Errorf("trace artifact not persisted: %v", err)
+	}
+
+	// A restarted server serves the persisted artifact from disk.
+	_, ts2 := newTestServer(t, Config{Workers: 2, CacheDir: dir})
+	resp2, err := http.Get(ts2.URL + "/results/" + key + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("restarted server: GET trace status %d", resp2.StatusCode)
+	}
+
+	// A fresh key that never opted in has no artifact.
+	done3 := wait(t, ts, submit(t, ts, Submission{
+		Name:      "plain",
+		Workloads: []string{"implicit"},
+		Params:    map[string]string{"warps": "2", "databytes": "1024", "rounds": "1"},
+	}).ID)
+	resp3, err := http.Get(ts.URL + "/results/" + done3.Jobs[0].Key + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced key served a trace: status %d", resp3.StatusCode)
+	}
+}
+
+// TestServeStallMetrics: fresh simulations fold their per-kind stall
+// cycles and engine counters into /metrics, in both the JSON and the
+// Prometheus renderings; cached jobs do not double-count.
+func TestServeStallMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	wait(t, ts, submit(t, ts, smallSweep("stalls")).ID)
+	m := getMetrics(t, ts)
+	var total uint64
+	for _, n := range m.StallCycles {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no stall cycles folded into /metrics")
+	}
+	if len(m.StallCycles) != core.NumStallKinds {
+		t.Errorf("StallCycles has %d kinds, want %d", len(m.StallCycles), core.NumStallKinds)
+	}
+	before := total
+
+	// A cache-hit pass must leave the aggregates untouched.
+	wait(t, ts, submit(t, ts, smallSweep("again")).ID)
+	m = getMetrics(t, ts)
+	total = 0
+	for _, n := range m.StallCycles {
+		total += n
+	}
+	if total != before {
+		t.Errorf("cached pass changed the stall aggregate: %d -> %d", before, total)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, series := range []string{
+		`gsi_stall_cycles_total{kind="idle"}`,
+		"gsi_engine_jumps_total",
+		"gsi_engine_express_deliveries_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("prometheus output missing %s", series)
+		}
 	}
 }

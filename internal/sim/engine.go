@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"strings"
 	"sync"
 )
@@ -200,6 +201,51 @@ type EngineStats struct {
 	// stats block describes the run's whole event-density picture.
 	ExpressDeliveries uint64 `json:"expressDeliveries"`
 	ExpressDemotions  uint64 `json:"expressDemotions"`
+	// JumpHist is the skip-jump size histogram: bucket i counts jumps of
+	// width [2^i, 2^(i+1)) cycles, with the last bucket absorbing
+	// anything wider. The bucket sum always equals Jumps.
+	JumpHist [JumpHistBuckets]uint64 `json:"jumpHist"`
+	// PhaseNanos attributes the parallel tick passes' wall time to the
+	// hub, group, and commit phases; zero under the serial engines. Wall
+	// time is inherently nondeterministic, which is fine here: EngineStats
+	// never enters the default Report encoding.
+	PhaseNanos PhaseNanos `json:"phaseNanos"`
+}
+
+// JumpHistBuckets is the number of power-of-two jump-width buckets in
+// EngineStats.JumpHist.
+const JumpHistBuckets = 16
+
+// PhaseNanos is the parallel engine's per-phase wall-time attribution, in
+// nanoseconds summed over all tick passes of a run.
+type PhaseNanos struct {
+	// Hub is the serial hub-prefix phase (mesh, memory controller, L2).
+	Hub uint64 `json:"hub"`
+	// Group is the concurrent group phase ({CoreMem, SM} pairs).
+	Group uint64 `json:"group"`
+	// Commit is the registration-order commit phase.
+	Commit uint64 `json:"commit"`
+}
+
+// jumpBucket returns the JumpHist bucket for a jump of the given width
+// (width >= 1: bucket floor(log2 width), capped at the last bucket).
+func jumpBucket(width uint64) int {
+	b := bits.Len64(width) - 1
+	if b >= JumpHistBuckets {
+		b = JumpHistBuckets - 1
+	}
+	return b
+}
+
+// Observer receives engine scheduling events for structured tracing
+// (implemented by trace.Collector; defined here so sim stays free of trace
+// dependencies). Both callbacks run on the engine goroutine.
+type Observer interface {
+	// Jump reports a skip-ahead jump: the clock advanced from from
+	// straight to to, with the window credited in bulk.
+	Jump(from, to uint64)
+	// TickPhases reports one parallel tick pass's per-phase wall times.
+	TickPhases(cycle uint64, hubNs, groupNs, commitNs int64)
 }
 
 // Engine drives the simulation: a single-threaded cycle loop over the
@@ -256,6 +302,9 @@ type Engine struct {
 	pool         *tickPool
 
 	stats EngineStats
+	// obs, when set, receives jump and phase events (see Observer); nil
+	// costs one pointer test per jump / parallel pass.
+	obs Observer
 }
 
 // NewEngine returns an empty engine at cycle 0 in the default (skip-ahead)
@@ -280,6 +329,10 @@ func (e *Engine) SetDense(dense bool) {
 
 // Stats returns scheduling counters accumulated since construction.
 func (e *Engine) Stats() EngineStats { return e.stats }
+
+// SetObserver installs (or, with nil, removes) the scheduling-event
+// observer. Observation never changes scheduling decisions or results.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // Register appends a component to the tick order and returns its wake
 // handle. Registration order defines evaluation order within a cycle;
@@ -519,8 +572,13 @@ func (e *Engine) trySkip() (jumped bool) {
 			s.SkipAhead(e.cycle, target)
 		}
 	}
+	width := target - e.cycle
 	e.stats.Jumps++
-	e.stats.SkippedCycles += target - e.cycle
+	e.stats.SkippedCycles += width
+	e.stats.JumpHist[jumpBucket(width)]++
+	if e.obs != nil {
+		e.obs.Jump(e.cycle, target)
+	}
 	e.cycle = target
 	return true
 }

@@ -28,7 +28,11 @@ import (
 //     are reset to their defaults, because every engine mode produces
 //     byte-identical results (the cross-engine contract enforced by
 //     engine_diff_test.go, which includes the parallel tick engine at any
-//     worker count); they change wall-clock cost, never the Report.
+//     worker count); they change wall-clock cost, never the Report,
+//   - Trace is cleared: tracing observes a run without perturbing it, so
+//     a traced and an untraced run share one cache identity. (The field
+//     is also tagged out of JSON, so it never reaches the hash document
+//     either way.)
 //
 // Every other field stays significant. In particular MaxCycles (a tighter
 // watchdog can fail a run that a looser one completes), Timeline (it adds
@@ -40,6 +44,7 @@ func CanonicalOptions(opt Options) Options {
 	opt.System.DenseTicking = false
 	opt.System.Express = true
 	opt.System.Parallel = 0
+	opt.Trace = nil
 	return opt
 }
 

@@ -34,6 +34,19 @@ type Report struct {
 	// Options.Timeline was set).
 	Timeline string `json:"timeline,omitempty"`
 
+	// TimelineData is the structured form of Timeline: the bucketed
+	// per-SM, per-kind cycle counts behind the ASCII rendering (nil unless
+	// Options.Timeline was set). Excluded from JSON by default so the
+	// default encoding stays exactly as before; opt in explicitly with
+	// IncludeTimeline, which mirrors it into TimelineJSON.
+	TimelineData *core.TimelineSnapshot `json:"-"`
+
+	// TimelineJSON is the explicit opt-in JSON carrier for TimelineData:
+	// nil (and therefore absent) by default, set by IncludeTimeline.
+	// DecodeReport folds a present block back into TimelineData, so the
+	// opt-in round-trips exactly.
+	TimelineJSON *core.TimelineSnapshot `json:"timelineData,omitempty"`
+
 	// EngineStats counts the scheduling work of the run (tick passes,
 	// skip-ahead jumps, skipped cycles, express-routed mesh deliveries
 	// and demotions). Excluded from JSON by default: every engine mode
@@ -112,6 +125,7 @@ func newReport(workload string, opt Options, g *gpu.GPU, cycles uint64) *Report 
 	r.EngineStats = g.EngineStats
 	if g.Insp.Timeline != nil {
 		r.Timeline = g.Insp.Timeline.Render()
+		r.TimelineData = g.Insp.Timeline.Snapshot()
 	}
 	return r
 }
@@ -223,9 +237,22 @@ func (r *Report) IncludeEngineStats() *Report {
 	return r
 }
 
+// IncludeTimeline opts this report's structured timeline data into its
+// JSON encoding by mirroring TimelineData into the TimelineJSON carrier;
+// it returns r for chaining. A no-op when the run did not record a
+// timeline (Options.Timeline unset).
+func (r *Report) IncludeTimeline() *Report {
+	if r.TimelineData != nil {
+		snap := *r.TimelineData
+		r.TimelineJSON = &snap
+	}
+	return r
+}
+
 // DecodeReport parses a document produced by Report.JSON, folding an
 // opted-in scheduling block (see IncludeEngineStats) back into
-// EngineStats so the opt-in round-trips exactly.
+// EngineStats — and an opted-in timeline block (see IncludeTimeline)
+// back into TimelineData — so the opt-ins round-trip exactly.
 func DecodeReport(data []byte) (*Report, error) {
 	r := new(Report)
 	if err := json.Unmarshal(data, r); err != nil {
@@ -233,6 +260,9 @@ func DecodeReport(data []byte) (*Report, error) {
 	}
 	if r.Scheduling != nil {
 		r.EngineStats = *r.Scheduling
+	}
+	if r.TimelineJSON != nil {
+		r.TimelineData = r.TimelineJSON
 	}
 	return r, nil
 }

@@ -104,6 +104,11 @@ func RunContext(ctx context.Context, opt Options, w Workload) (*Report, error) {
 	if opt.Timeline {
 		g.Insp.Timeline = core.NewTimeline(opt.System.NumSMs, 96)
 	}
+	if opt.Trace != nil {
+		opt.Trace.Begin(opt.System.NumSMs)
+		g.Insp.Trace = opt.Trace
+		g.Trace = opt.Trace
+	}
 	for _, cm := range g.Sys.Cores {
 		cm.SFIFO = opt.SFIFO
 		cm.OwnedAtomics = opt.OwnedAtomics
