@@ -238,6 +238,12 @@ type (
 	// GUPS parameterizes the random-access update benchmark
 	// (MSHR/coalescer pressure through line-strided vector windows).
 	GUPS = workloads.GUPS
+	// Stencil parameterizes the 2D halo-exchange stencil with
+	// DMA-staged band windows (bulk-transfer/latency-overlap pressure).
+	Stencil = workloads.Stencil
+	// Steal parameterizes the work-stealing deque benchmark with a
+	// steal-half policy (contended atomics, irregular quiescence).
+	Steal = workloads.Steal
 )
 
 // Workload registry types, re-exported from internal/workloads. The

@@ -26,6 +26,7 @@ package faultinject
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -148,7 +149,10 @@ func Parse(spec string) (*Injector, error) {
 			in.SlowFor = time.Duration(n) * time.Millisecond
 		case "panic", "stall", "slow":
 			p, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
-			if err != nil || p < 0 || p > 1 {
+			// The NaN check matters: ParseFloat accepts "NaN", and NaN
+			// fails neither range comparison, so it would slip through as
+			// a probability that never fires.
+			if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
 				return nil, fmt.Errorf("faultinject: bad probability %q", clause)
 			}
 			f, _ := parseFault(key)

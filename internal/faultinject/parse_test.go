@@ -1,0 +1,141 @@
+package faultinject_test
+
+import (
+	"testing"
+	"time"
+
+	"gsi/internal/faultinject"
+)
+
+// TestParseEmptyAndBlankSpecs: specs with no clauses — empty, whitespace,
+// stray commas — parse to an injector that never faults, with the slow
+// default intact.
+func TestParseEmptyAndBlankSpecs(t *testing.T) {
+	for _, spec := range []string{"", "   ", ",", " , ,, ", "\t"} {
+		in, err := faultinject.Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := in.Decide("uts/denovo"); got != faultinject.FaultNone {
+			t.Errorf("Parse(%q).Decide = %v, want none", spec, got)
+		}
+		if in.SlowFor != 250*time.Millisecond {
+			t.Errorf("Parse(%q).SlowFor = %v, want the 250ms default", spec, in.SlowFor)
+		}
+	}
+}
+
+// TestParseMalformedProbability: every malformed probability spelling must
+// be rejected at parse time, not surface later as a draw that never (or
+// always) fires. NaN is the sharp one — ParseFloat accepts it and it
+// fails neither range comparison.
+func TestParseMalformedProbability(t *testing.T) {
+	for _, spec := range []string{
+		"panic=",                       // empty value
+		"panic=NaN",                    // passes both range comparisons if unchecked
+		"stall=nan",                    // ParseFloat is case-insensitive about it
+		"slow=+Inf",                    // over 1
+		"panic=-0.0001",                // under 0
+		"panic=1.0001",                 // over 1
+		"stall=0.5.5",                  // not a float
+		"slow=50%",                     // no percent spellings
+		"panic=0.5,stall=0.4,slow=0.2", // each valid, sum past 1
+	} {
+		if _, err := faultinject.Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+	// Float edge values that are legitimate probabilities must survive:
+	// exact bounds and negative zero (which compares equal to 0).
+	for _, spec := range []string{"panic=0", "panic=1", "panic=-0", "panic=0.0", "slow=1.0"} {
+		if _, err := faultinject.Parse(spec); err != nil {
+			t.Errorf("Parse(%q): %v, want success", spec, err)
+		}
+	}
+}
+
+// TestParseOverlappingRules: when several substring rules match one label,
+// the first clause in the spec wins — spec order is the priority order.
+func TestParseOverlappingRules(t *testing.T) {
+	in, err := faultinject.Parse("uts:panic,ut:stall,u:slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Decide("uts/denovo"); got != faultinject.FaultPanic {
+		t.Errorf("Decide(uts/denovo) = %v, want panic (first matching clause)", got)
+	}
+	if got := in.Decide("utd/denovo"); got != faultinject.FaultStall {
+		t.Errorf("Decide(utd/denovo) = %v, want stall", got)
+	}
+	if got := in.Decide("gups"); got != faultinject.FaultSlow {
+		t.Errorf("Decide(gups) = %v, want slow (the 'u' clause)", got)
+	}
+	if got := in.Decide("bfs"); got != faultinject.FaultNone {
+		t.Errorf("Decide(bfs) = %v, want none", got)
+	}
+
+	// Reversing the spec reverses the priority: the broad clause shadows
+	// the narrow ones entirely.
+	rev, err := faultinject.Parse("u:slow,ut:stall,uts:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rev.Decide("uts/denovo"); got != faultinject.FaultSlow {
+		t.Errorf("reversed Decide(uts/denovo) = %v, want slow", got)
+	}
+}
+
+// TestParseCatchAllRule: an empty substring (":fault") matches every
+// label, and as a rule it takes precedence over any probability clause.
+func TestParseCatchAllRule(t *testing.T) {
+	in, err := faultinject.Parse(":stall,panic=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"uts/denovo", "implicit/stash", ""} {
+		if got := in.Decide(label); got != faultinject.FaultStall {
+			t.Errorf("Decide(%q) = %v, want stall (catch-all rule beats panic=1)", label, got)
+		}
+	}
+}
+
+// TestParseDuplicateKeys: repeating a key=value clause keeps the last
+// value — the spec reads left to right like flag overrides — and the
+// sum-past-1 check applies to the final values, not intermediate ones.
+func TestParseDuplicateKeys(t *testing.T) {
+	in, err := faultinject.Parse("seed=1,slowms=5,seed=9,slowms=40,panic=0.9,panic=0.1,stall=0.8")
+	if err != nil {
+		t.Fatalf("Parse: %v (final probabilities sum to 0.9)", err)
+	}
+	if in.Seed != 9 {
+		t.Errorf("Seed = %d, want 9 (last clause wins)", in.Seed)
+	}
+	if in.SlowFor != 40*time.Millisecond {
+		t.Errorf("SlowFor = %v, want 40ms (last clause wins)", in.SlowFor)
+	}
+}
+
+// TestParseRuleFaultSpellings: the fault side of a rule is parsed
+// case-insensitively with surrounding space tolerated; the substring side
+// is taken verbatim (labels are matched case-sensitively).
+func TestParseRuleFaultSpellings(t *testing.T) {
+	in, err := faultinject.Parse("uts: PANIC ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Decide("uts/denovo"); got != faultinject.FaultPanic {
+		t.Errorf("Decide(uts/denovo) = %v, want panic", got)
+	}
+	if _, err := faultinject.Parse("uts:"); err == nil {
+		t.Error("Parse(\"uts:\") succeeded, want error (empty fault name)")
+	}
+	// The substring is not case-folded: a capitalized substring does not
+	// match lowercase labels.
+	caps, err := faultinject.Parse("UTS:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := caps.Decide("uts/denovo"); got != faultinject.FaultNone {
+		t.Errorf("Decide(uts/denovo) under UTS rule = %v, want none (substrings are verbatim)", got)
+	}
+}

@@ -1,0 +1,15 @@
+package scale
+
+import "syscall"
+
+// rssKB returns the process's maximum resident set size in KB (the
+// getrusage high-water mark — monotone, so a rung's reading includes
+// every earlier rung's footprint; the RSS wall is a process ceiling, not
+// a per-rung measurement).
+func rssKB() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return uint64(ru.Maxrss)
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package scale
+
+// rssKB is unavailable off Linux; the RSS wall simply never fires there
+// (zero is below any configured ceiling and excluded from reports).
+func rssKB() uint64 { return 0 }

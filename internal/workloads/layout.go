@@ -64,6 +64,30 @@ const (
 	// GUPS random-access table, partitioned per warp (each warp owns a
 	// power-of-two slice it updates through randomized windows).
 	addrGupsTable = 0x2000_0000
+
+	// Stencil per-block band windows: each co-resident block owns one
+	// contiguous window holding its two ping-pong planes (ghost rows
+	// included), DMA-mapped into the scratchpad at block start and bulk
+	// written back at kernel end. Halo rows are exchanged through the
+	// parity-indexed slot arrays; the global barrier words get their own
+	// cache lines.
+	addrStenGrid   = 0x2100_0000
+	addrStenHaloDn = 0x2800_0000
+	addrStenHaloUp = 0x2C00_0000
+	addrStenBarCnt = 0x2F00_0000
+	addrStenBarGen = 0x2F00_0040
+
+	// Work-stealing deques: per-block lock/head/tail on separate lines
+	// within a sqMetaStride region, ring buffers of task ids, the
+	// per-task result array, and the processed counter. As with the UTSD
+	// queues, the strides are odd multiples of the line size so
+	// consecutive deques' hot lines spread across all 16 L2 banks.
+	addrSqMeta    = 0x3000_0000
+	sqMetaStride  = 0x4C0
+	addrSqTasks   = 0x3100_0000
+	sqTaskStride  = 0x2_04C0
+	addrStealRes  = 0x3800_0000
+	addrStealDone = 0x3F00_0000
 )
 
 func lqLockAddr(q int) uint64 { return addrLQMeta + uint64(q)*lqMetaStride }
@@ -71,4 +95,11 @@ func lqHeadAddr(q int) uint64 { return lqLockAddr(q) + 0x40 }
 func lqTailAddr(q int) uint64 { return lqLockAddr(q) + 0x80 }
 func lqTasksBase(q int) uint64 {
 	return addrLQTasks + uint64(q)*lqTaskStride
+}
+
+func sqLockAddr(q int) uint64 { return addrSqMeta + uint64(q)*sqMetaStride }
+func sqHeadAddr(q int) uint64 { return sqLockAddr(q) + 0x40 }
+func sqTailAddr(q int) uint64 { return sqLockAddr(q) + 0x80 }
+func sqTasksBase(q int) uint64 {
+	return addrSqTasks + uint64(q)*sqTaskStride
 }

@@ -214,6 +214,7 @@ func Builtins() *Registry {
 	return NewRegistry(
 		utsEntry(), utsdEntry(), implicitEntry(),
 		bfsEntry(), spmvEntry(), pipelineEntry(), gupsEntry(),
+		stencilEntry(), stealEntry(),
 	)
 }
 
@@ -420,6 +421,74 @@ func pipelineEntry() *Entry {
 				if c, err := v.Int("consumers"); err == nil && p+c > cfg.WarpsPerSM {
 					cfg.WarpsPerSM = p + c
 				}
+			}
+			return cfg
+		},
+	}
+}
+
+func stencilEntry() *Entry {
+	return &Entry{
+		Name:    "stencil",
+		Summary: "2D Jacobi with DMA double-buffered bands and global halo exchange (bulk-transfer/barrier pressure)",
+		Params: []Param{
+			{"width", "grid columns including fixed edges (multiple of 8)", "64"},
+			{"rows", "interior rows per block band", "4"},
+			{"steps", "Jacobi time steps", "8"},
+			{"blocks", "thread blocks (must all be co-resident)", "15"},
+			{"warps", "warps per block", "2"},
+			{"work", "hash chain length per cell update", "2"},
+			{"seed", "initial grid fill seed", "0x57E9"},
+		},
+		Small: Values{"width": "32", "rows": "2", "steps": "3", "blocks": "4"},
+		New: func(v Values) (Instance, error) {
+			n, err := v.ints("width", "rows", "steps", "blocks", "warps", "work")
+			if err != nil {
+				return nil, err
+			}
+			seed, err := v.Uint64("seed")
+			if err != nil {
+				return nil, err
+			}
+			return Stencil{Seed: seed, Width: n[0], Rows: n[1], Steps: n[2],
+				Blocks: n[3], WarpsPerBlock: n[4], Work: n[5]}.Instance(), nil
+		},
+		Tune: func(v Values, cfg sim.Config) sim.Config {
+			// The band bands one block per SM; widen the warp slots when
+			// a band is split finer than the default residency.
+			if warps, err := v.Int("warps"); err == nil && warps > cfg.WarpsPerSM {
+				cfg.WarpsPerSM = warps
+			}
+			return cfg
+		},
+	}
+}
+
+func stealEntry() *Entry {
+	return &Entry{
+		Name:    "steal",
+		Summary: "work-stealing deques with steal-half policy (contended atomics, irregular quiescence)",
+		Params: []Param{
+			{"tasks", "total task count", "2000"},
+			{"cap", "per-deque ring capacity (power of two >= tasks)", "2048"},
+			{"blocks", "thread blocks (one deque each)", "15"},
+			{"warps", "warps per block", "4"},
+			{"work", "hash chain length per task", "12"},
+			{"fmas", "FMA chain length per task", "4"},
+			{"skew", "percent of tasks seeded into deque 0", "100"},
+		},
+		Small: Values{"tasks": "96", "cap": "128", "blocks": "4", "warps": "2", "work": "8", "fmas": "2"},
+		New: func(v Values) (Instance, error) {
+			n, err := v.ints("tasks", "cap", "blocks", "warps", "work", "fmas", "skew")
+			if err != nil {
+				return nil, err
+			}
+			return Steal{Tasks: n[0], Cap: n[1], Blocks: n[2], WarpsPerBlock: n[3],
+				Work: n[4], FMAs: n[5], Skew: n[6]}.Instance(), nil
+		},
+		Tune: func(v Values, cfg sim.Config) sim.Config {
+			if warps, err := v.Int("warps"); err == nil && warps > cfg.WarpsPerSM {
+				cfg.WarpsPerSM = warps
 			}
 			return cfg
 		},

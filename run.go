@@ -75,6 +75,21 @@ func NewGUPS(updates int) Workload { return workloads.DefaultGUPS(updates).Insta
 // NewGUPSWith uses explicit GUPS parameters.
 func NewGUPSWith(p GUPS) Workload { return p.Instance() }
 
+// NewStencil wraps the 2D halo-exchange stencil with default sizing
+// (one DMA-staged band window per block, ping-pong planes, parity-indexed
+// halo slots).
+func NewStencil() Workload { return workloads.DefaultStencil().Instance() }
+
+// NewStencilWith uses explicit stencil parameters.
+func NewStencilWith(p Stencil) Workload { return p.Instance() }
+
+// NewSteal wraps the work-stealing deque benchmark with default sizing
+// (one deque per block, steal-half on empty).
+func NewSteal(tasks int) Workload { return workloads.DefaultSteal(tasks).Instance() }
+
+// NewStealWith uses explicit steal parameters.
+func NewStealWith(p Steal) Workload { return p.Instance() }
+
 // Run executes one workload under the given options and returns its GSI
 // report. The workload's functional post-check runs before the report is
 // returned: a timing bug that corrupts results fails loudly rather than
